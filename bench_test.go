@@ -1,0 +1,159 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (Section 6), plus ablations and kernel micro-benchmarks. Figure-level
+// benchmarks run the corresponding experiment at quick scale and report the
+// headline quantity (simulated seconds or speedup) via b.ReportMetric; the
+// full-scale numbers live in EXPERIMENTS.md and are produced by
+// `go run ./cmd/ps2bench -all`.
+package ps2
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/data"
+	"repro/internal/linalg"
+	"repro/internal/ps"
+)
+
+// runExperiment runs one registered experiment per benchmark iteration and
+// reports the simulated speedup (last row's last column when it is a
+// speedup) or nothing beyond wall time.
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	exp, ok := bench.ByID(id)
+	if !ok {
+		b.Fatalf("experiment %q not registered", id)
+	}
+	for i := 0; i < b.N; i++ {
+		res := exp.Run(bench.Opts{Quick: true})
+		if len(res.Rows) == 0 {
+			b.Fatal("no rows")
+		}
+		if i == 0 {
+			reportHeadline(b, res)
+		}
+	}
+}
+
+func reportHeadline(b *testing.B, res *bench.Result) {
+	// Report any "…x" speedup cells from the last row, and the first
+	// numeric cell as the headline time.
+	last := res.Rows[len(res.Rows)-1]
+	for _, cell := range last {
+		if strings.HasSuffix(cell, "x") {
+			if v, err := strconv.ParseFloat(strings.TrimSuffix(cell, "x"), 64); err == nil {
+				b.ReportMetric(v, "speedup")
+			}
+		}
+	}
+}
+
+func BenchmarkFig1a(b *testing.B)  { runExperiment(b, "fig1a") }
+func BenchmarkFig1b(b *testing.B)  { runExperiment(b, "fig1b") }
+func BenchmarkTable1(b *testing.B) { runExperiment(b, "table1") }
+func BenchmarkTable2(b *testing.B) { runExperiment(b, "table2") }
+func BenchmarkTable3(b *testing.B) { runExperiment(b, "table3") }
+func BenchmarkTable4(b *testing.B) { runExperiment(b, "table4") }
+func BenchmarkFig9a(b *testing.B)  { runExperiment(b, "fig9a") }
+func BenchmarkFig9b(b *testing.B)  { runExperiment(b, "fig9b") }
+func BenchmarkFig9c(b *testing.B)  { runExperiment(b, "fig9c") }
+func BenchmarkFig9d(b *testing.B)  { runExperiment(b, "fig9d") }
+func BenchmarkFig10a(b *testing.B) { runExperiment(b, "fig10a") }
+func BenchmarkFig10b(b *testing.B) { runExperiment(b, "fig10b") }
+func BenchmarkFig11(b *testing.B)  { runExperiment(b, "fig11") }
+func BenchmarkFig12a(b *testing.B) { runExperiment(b, "fig12a") }
+func BenchmarkFig12b(b *testing.B) { runExperiment(b, "fig12b") }
+func BenchmarkFig12c(b *testing.B) { runExperiment(b, "fig12c") }
+func BenchmarkFig13a(b *testing.B) { runExperiment(b, "fig13a") }
+func BenchmarkFig13b(b *testing.B) { runExperiment(b, "fig13b") }
+func BenchmarkFig13c(b *testing.B) { runExperiment(b, "fig13c") }
+
+func BenchmarkAblationColocation(b *testing.B) { runExperiment(b, "ablation-colocation") }
+func BenchmarkAblationSparsePull(b *testing.B) { runExperiment(b, "ablation-sparsepull") }
+func BenchmarkAblationServerCount(b *testing.B) {
+	runExperiment(b, "ablation-servers")
+}
+func BenchmarkAblationBatching(b *testing.B) { runExperiment(b, "ablation-batching") }
+func BenchmarkAblationCheckpoint(b *testing.B) {
+	runExperiment(b, "ablation-checkpoint")
+}
+
+func BenchmarkExtTreeAggregate(b *testing.B) { runExperiment(b, "ext-treeagg") }
+func BenchmarkExtMLlibStar(b *testing.B)     { runExperiment(b, "ext-mllibstar") }
+func BenchmarkExtSSP(b *testing.B)           { runExperiment(b, "ext-ssp") }
+func BenchmarkExtFM(b *testing.B)            { runExperiment(b, "ext-fm") }
+func BenchmarkExtNode2vec(b *testing.B)      { runExperiment(b, "ext-node2vec") }
+
+// --- Kernel micro-benchmarks (host performance of the hot paths) ---
+
+func BenchmarkSparseDotDense(b *testing.B) {
+	sv, _ := linalg.NewSparse(seqInts(64, 1000), ones(64))
+	w := make([]float64, 64000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = sv.DotDense(w)
+	}
+}
+
+func BenchmarkSparseAddToDense(b *testing.B) {
+	sv, _ := linalg.NewSparse(seqInts(64, 1000), ones(64))
+	w := make([]float64, 64000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sv.AddToDense(w, 0.1)
+	}
+}
+
+func BenchmarkDenseAxpy(b *testing.B) {
+	x := make([]float64, 4096)
+	y := make([]float64, 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		linalg.Axpy(0.5, x, y)
+	}
+}
+
+func BenchmarkPartitionerSplitIndices(b *testing.B) {
+	pt, _ := ps.NewPartitioner(1_000_000, 20)
+	idx := seqInts(3000, 300)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = pt.SplitIndices(idx)
+	}
+}
+
+func BenchmarkRNGZipf(b *testing.B) {
+	rng := linalg.NewRNG(1)
+	for i := 0; i < b.N; i++ {
+		_ = rng.Zipf(1_000_000, 1.1)
+	}
+}
+
+func BenchmarkGenerateClassify1k(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := data.GenerateClassify(data.ClassifyConfig{
+			Rows: 1000, Dim: 10000, NnzPerRow: 20, Skew: 1.1, WeightNnz: 500, Seed: uint64(i) + 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func seqInts(n, stride int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i * stride
+	}
+	return out
+}
+
+func ones(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = 1
+	}
+	return out
+}

@@ -1,0 +1,133 @@
+// Command ps2bench regenerates the paper's tables and figures on the
+// simulated cluster.
+//
+// Usage:
+//
+//	ps2bench -list
+//	ps2bench -exp fig9a [-quick]
+//	ps2bench -all [-quick]
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		expID  = flag.String("exp", "", "experiment id to run (see -list)")
+		all    = flag.Bool("all", false, "run every experiment")
+		list   = flag.Bool("list", false, "list experiment ids")
+		quick  = flag.Bool("quick", false, "reduced scale for a fast pass")
+		csvDir = flag.String("csv", "", "also write each result as CSV into this directory")
+	)
+	flag.Parse()
+
+	switch {
+	case *list:
+		for _, e := range bench.All() {
+			fmt.Printf("%-22s %s\n", e.ID, e.Title)
+		}
+	case *all:
+		for _, e := range bench.All() {
+			runOne(e, bench.Opts{Quick: *quick}, *csvDir)
+		}
+	case *expID != "":
+		e, ok := bench.ByID(*expID)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "ps2bench: unknown experiment %q (use -list)\n", *expID)
+			os.Exit(2)
+		}
+		runOne(e, bench.Opts{Quick: *quick}, *csvDir)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func runOne(e bench.Experiment, o bench.Opts, csvDir string) {
+	start := time.Now()
+	res := e.Run(o)
+	res.Render(os.Stdout)
+	fmt.Printf("  [host time: %.1fs]\n\n", time.Since(start).Seconds())
+	if csvDir != "" {
+		if err := writeCSV(csvDir, res); err != nil {
+			fmt.Fprintf(os.Stderr, "ps2bench: csv: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeCSV writes the result table (and any convergence curves) as CSV files.
+func writeCSV(dir string, res *bench.Result) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, res.ID+".csv"))
+	if err != nil {
+		return err
+	}
+	w := csv.NewWriter(f)
+	if err := w.Write(res.Header); err != nil {
+		return err
+	}
+	for _, row := range res.Rows {
+		if err := w.Write(row); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	for _, tr := range res.Traces {
+		cf, err := os.Create(filepath.Join(dir, fmt.Sprintf("%s_curve_%s.csv", res.ID, sanitize(tr.Name))))
+		if err != nil {
+			return err
+		}
+		cw := csv.NewWriter(cf)
+		if err := cw.Write([]string{"time_s", "value"}); err != nil {
+			return err
+		}
+		for i := 0; i < tr.Len(); i++ {
+			if err := cw.Write([]string{
+				strconv.FormatFloat(tr.Times[i], 'g', -1, 64),
+				strconv.FormatFloat(tr.Values[i], 'g', -1, 64),
+			}); err != nil {
+				return err
+			}
+		}
+		cw.Flush()
+		if err := cw.Error(); err != nil {
+			return err
+		}
+		if err := cf.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sanitize maps a trace name to a safe file fragment.
+func sanitize(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+			out = append(out, r)
+		default:
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}

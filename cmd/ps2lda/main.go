@@ -1,0 +1,108 @@
+// Command ps2lda trains a topic model on a UCI bag-of-words ("docword")
+// file with PS2's distributed collapsed Gibbs sampler, printing per-topic
+// top words, coherence, and held-out perplexity. Without -data it generates
+// a synthetic corpus first (and can save it with -save).
+//
+//	ps2lda -data docword.pubmed.txt -topics 100 -iterations 50
+//	ps2lda -save synthetic.docword.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	ps2 "repro"
+	"repro/internal/data"
+	"repro/internal/ml/lda"
+	"repro/internal/rdd"
+)
+
+func main() {
+	var (
+		path       = flag.String("data", "", "UCI docword file (synthetic corpus when empty)")
+		save       = flag.String("save", "", "write the (possibly synthetic) corpus to this docword file")
+		topics     = flag.Int("topics", 20, "number of topics")
+		iterations = flag.Int("iterations", 20, "Gibbs iterations")
+		executors  = flag.Int("executors", 20, "simulated Spark executors")
+		servers    = flag.Int("servers", 20, "simulated parameter servers")
+		sparse     = flag.Bool("sparse", false, "use the SparseLDA sampler (LDA*-style)")
+		holdout    = flag.Float64("holdout", 0.1, "fraction of documents held out for perplexity")
+		topN       = flag.Int("top", 8, "top words to print per topic")
+	)
+	flag.Parse()
+
+	var docs []data.Document
+	var vocab int
+	if *path != "" {
+		f, err := os.Open(*path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		docs, vocab, err = data.ReadDocword(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("loaded %s: %d docs, vocab %d\n", *path, len(docs), vocab)
+	} else {
+		cfg := data.PubMEDLike()
+		cfg.Docs = 3000
+		corpus, err := data.GenerateCorpus(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		docs, vocab = corpus.Docs, cfg.Vocab
+		fmt.Printf("generated synthetic corpus: %d docs, vocab %d, %d tokens\n", len(docs), vocab, corpus.Tokens)
+	}
+	if *save != "" {
+		f, err := os.Create(*save)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := data.WriteDocword(f, docs, vocab); err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
+		fmt.Printf("wrote corpus to %s\n", *save)
+	}
+
+	cut := len(docs) - int(float64(len(docs))**holdout)
+	if cut < 1 {
+		cut = len(docs)
+	}
+	train, held := docs[:cut], docs[cut:]
+
+	opt := ps2.DefaultOptions()
+	opt.Executors, opt.Servers = *executors, *servers
+	engine := ps2.NewEngine(opt)
+
+	cfg := lda.DefaultConfig()
+	cfg.Topics = *topics
+	cfg.Iterations = *iterations
+	if *sparse {
+		cfg.Sampler = lda.SamplerSparse
+	}
+
+	var model *lda.Model
+	end := engine.Run(func(p *ps2.Proc) {
+		docRDD := rdd.FromSlices(engine.RDD, data.PartitionDocs(train, *executors)).Cache()
+		m, err := ps2.TrainLDA(p, engine, docRDD, vocab, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		model = m
+	})
+
+	fmt.Printf("trained K=%d for %d iterations in %.2fs simulated (%s sampler)\n",
+		cfg.Topics, cfg.Iterations, end, map[bool]string{true: "sparse", false: "standard"}[*sparse])
+	fmt.Printf("log-likelihood/token: %.4f -> %.4f\n", model.Trace.Values[0], model.Trace.Final())
+	if len(held) > 0 {
+		fmt.Printf("held-out perplexity (%d docs): %.1f\n", len(held), lda.Perplexity(model, held, cfg.Alpha, cfg.Beta))
+	}
+	for k := 0; k < cfg.Topics; k++ {
+		top := model.TopWordsHost(k, *topN)
+		fmt.Printf("  topic %3d (coherence %6.2f): %v\n", k, lda.CoherenceUMass(train, top, *topN), top)
+	}
+}

@@ -1,0 +1,222 @@
+package baselines
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/linalg"
+	"repro/internal/ps"
+	"repro/internal/rdd"
+	"repro/internal/simnet"
+)
+
+// TrainLDAGlint trains LDA on a Glint-style asynchronous parameter server
+// (Jagerman et al., SIGIR'17): the topic-word matrix is column-partitioned
+// like PS2's, but the client interface is plain pull/push at per-word
+// granularity with no message compression and no batching across words —
+// every word's topic vector is its own request with full RPC overhead, and
+// every delta push likewise. The paper attributes PS2's 9× advantage to its
+// "sparse communication implementation and message compression technique";
+// per-word framing plus 8-byte counts is what a pull/push-only client
+// without those optimizations costs.
+func TrainLDAGlint(p *simnet.Proc, e *core.Engine, docs *rdd.RDD[data.Document], vocab, topics, iterations int, alpha, beta float64, seed uint64) (*core.Trace, error) {
+	if topics < 2 || vocab <= 0 || iterations <= 0 {
+		return nil, fmt.Errorf("baselines: invalid LDA config")
+	}
+	mat, err := e.PS.CreateMatrix(p, topics, vocab)
+	if err != nil {
+		return nil, err
+	}
+	trace := &core.Trace{Name: "Glint"}
+	cost := e.Cluster.Cost
+
+	totals := make([]float64, topics)
+	type st struct {
+		z   [][]int32
+		ndk [][]int32
+	}
+	states := map[int]*st{}
+
+	// Initialization with batched pushes (one-time setup is not the
+	// bottleneck in any system).
+	rdd.RunPartitions(p, docs, 8, func(tc *rdd.TaskContext, part int, rows []data.Document) struct{} {
+		tc.Commit()
+		state := &st{z: make([][]int32, len(rows)), ndk: make([][]int32, len(rows))}
+		states[part] = state
+		rng := linalg.NewRNG(seed*31 + uint64(part))
+		n := 0
+		for d, doc := range rows {
+			state.z[d] = make([]int32, len(doc.Words))
+			state.ndk[d] = make([]int32, topics)
+			for t, w := range doc.Words {
+				k := rng.Intn(topics)
+				state.z[d][t] = int32(k)
+				state.ndk[d][k]++
+				sh := mat.ShardOf(mat.Part.ServerOf(int(w)))
+				sh.Rows[k][int(w)-sh.Lo]++
+				totals[k]++
+				n++
+			}
+		}
+		tc.Node.Send(tc.P, e.Cluster.Servers[0], cost.SparseBytes(n))
+		return struct{}{}
+	})
+
+	vb := float64(vocab) * beta
+	alphaSum := alpha * float64(topics)
+	for it := 0; it < iterations; it++ {
+		type res struct {
+			logLik float64
+			tokens int
+		}
+		results := rdd.RunPartitions(p, docs, 16, func(tc *rdd.TaskContext, part int, rows []data.Document) res {
+			words := glintDistinctWords(rows)
+			// Per-word pulls: one RPC per word, uncompressed K counts back.
+			// The per-word requests to one server are charged as one stream
+			// whose size includes every request's framing overhead (the
+			// transfers serialize on the NICs either way).
+			counts := map[int][]float64{}
+			split := mat.Part.SplitIndices(words)
+			g := tc.P.Sim().NewGroup()
+			for s := range split {
+				if len(split[s]) == 0 {
+					continue
+				}
+				s := s
+				g.Go("glint-pull", func(cp *simnet.Proc) {
+					idx := split[s]
+					srv := mat.ServerNode(s)
+					sh := mat.ShardOf(s)
+					n := float64(len(idx))
+					tc.Node.Send(cp, srv, n*cost.RequestOverheadB)
+					srv.Compute(cp, n*cost.RequestHandleWork+cost.ElemWork(len(idx)*mat.Rows))
+					srv.Send(cp, tc.Node, n*(cost.RequestOverheadB+float64(mat.Rows)*8))
+					for _, w := range idx {
+						vec := make([]float64, mat.Rows)
+						for k := 0; k < mat.Rows; k++ {
+							vec[k] = sh.Rows[k][w-sh.Lo]
+						}
+						counts[w] = vec
+					}
+				})
+			}
+			g.Wait(tc.P)
+			tc.Commit()
+
+			state := states[part]
+			rng := linalg.NewRNG(seed*101 + uint64(part)*13 + uint64(tc.Attempt) + uint64(it)*7)
+			snapshot := append([]float64(nil), totals...)
+			ltot := append([]float64(nil), totals...)
+			probs := make([]float64, topics)
+			r := res{}
+			touched := map[int]bool{}
+			type kw struct{ k, w int }
+			delta := map[kw]float64{}
+			for d, doc := range rows {
+				docLen := float64(len(doc.Words))
+				for t, w := range doc.Words {
+					wc := counts[int(w)]
+					old := int(state.z[d][t])
+					state.ndk[d][old]--
+					wc[old]--
+					ltot[old]--
+					delta[kw{old, int(w)}]--
+					var sum float64
+					for k := 0; k < topics; k++ {
+						pk := (float64(state.ndk[d][k]) + alpha) * (wc[k] + beta) / (ltot[k] + vb)
+						if pk < 0 {
+							pk = 0
+						}
+						probs[k] = pk
+						sum += pk
+					}
+					u := rng.Float64() * sum
+					newK := topics - 1
+					acc := 0.0
+					for k := 0; k < topics; k++ {
+						acc += probs[k]
+						if u <= acc {
+							newK = k
+							break
+						}
+					}
+					r.logLik += math.Log(sum / (docLen - 1 + alphaSum))
+					state.z[d][t] = int32(newK)
+					state.ndk[d][newK]++
+					wc[newK]++
+					ltot[newK]++
+					delta[kw{newK, int(w)}]++
+					touched[int(w)] = true
+					r.tokens++
+				}
+			}
+			tc.Charge(cost.ElemWork(r.tokens * topics))
+			for k := 0; k < topics; k++ {
+				totals[k] += ltot[k] - snapshot[k]
+			}
+			for kwk, v := range delta {
+				if v != 0 {
+					applyShardDelta(mat, kwk.k, kwk.w, v)
+				}
+			}
+			// Per-word delta pushes, uncompressed, charged the same way.
+			pushWords := make([]int, 0, len(touched))
+			for w := range touched {
+				pushWords = append(pushWords, w)
+			}
+			sort.Ints(pushWords)
+			pushSplit := mat.Part.SplitIndices(pushWords)
+			g2 := tc.P.Sim().NewGroup()
+			for s := range pushSplit {
+				if len(pushSplit[s]) == 0 {
+					continue
+				}
+				s := s
+				g2.Go("glint-push", func(cp *simnet.Proc) {
+					n := float64(len(pushSplit[s]))
+					srv := mat.ServerNode(s)
+					tc.Node.Send(cp, srv, n*(cost.RequestOverheadB+float64(topics)*8))
+					srv.Compute(cp, n*cost.RequestHandleWork+cost.ElemWork(len(pushSplit[s])*topics))
+					srv.Send(cp, tc.Node, n*cost.RequestOverheadB)
+				})
+			}
+			g2.Wait(tc.P)
+			return r
+		})
+		var logLik float64
+		var tokens int
+		for _, r := range results {
+			logLik += r.logLik
+			tokens += r.tokens
+		}
+		if tokens > 0 {
+			trace.Add(p.Now(), logLik/float64(tokens))
+		}
+	}
+	return trace, nil
+}
+
+// applyShardDelta mutates one count in shard memory (the wire cost is
+// charged by the surrounding per-word pushes).
+func applyShardDelta(mat *ps.Matrix, k, w int, v float64) {
+	sh := mat.ShardOf(mat.Part.ServerOf(w))
+	sh.Rows[k][w-sh.Lo] += v
+}
+
+func glintDistinctWords(rows []data.Document) []int {
+	seen := map[int32]bool{}
+	for _, doc := range rows {
+		for _, w := range doc.Words {
+			seen[w] = true
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for w := range seen {
+		out = append(out, int(w))
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,184 @@
+package baselines
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/linalg"
+	"repro/internal/ml/lr"
+	"repro/internal/rdd"
+	"repro/internal/simnet"
+)
+
+// TrainLRMLlibTree is Spark MLlib with treeAggregate instead of plain
+// driver aggregation: gradients combine pairwise across executors in
+// ~log2(P) rounds before one partial reaches the driver. The broadcast leg
+// still serializes on the driver. This quantifies how much of the paper's
+// "single-node bottleneck" tree aggregation alone removes (extension
+// experiment ext-treeagg).
+func TrainLRMLlibTree(p *simnet.Proc, e *core.Engine, dataset *rdd.RDD[data.Instance], dim int, cfg lr.Config) (*core.Trace, []float64, error) {
+	if cfg.Iterations <= 0 {
+		return nil, nil, fmt.Errorf("baselines: iterations must be positive")
+	}
+	if float64(dim*8*2) > MLlibMaxModelBytes {
+		return nil, nil, ErrOOM
+	}
+	trace := &core.Trace{Name: "MLlib+treeAgg"}
+	cost := e.Cluster.Cost
+	w := make([]float64, dim)
+	for it := 0; it < cfg.Iterations; it++ {
+		e.RDD.Broadcast(p, cost.DenseBytes(dim))
+		batch := dataset.Sample(cfg.BatchFraction, cfg.Seed+uint64(it))
+		agg := rdd.TreeAggregate(p, batch, gradAggSpec(e, dim, cfg, w))
+		if agg.N == 0 {
+			continue
+		}
+		e.Driver().Compute(p, cost.ElemWork(dim))
+		eta := cfg.LearningRate / sqrtIter(it+1)
+		for i := range w {
+			w[i] -= eta * agg.Grad[i] / float64(agg.N)
+		}
+		trace.Add(p.Now(), agg.Loss/float64(agg.N))
+	}
+	return trace, w, nil
+}
+
+// TrainLRMLlibStar reproduces MLlib* (Zhang et al., ICDE'19 — the paper's
+// reference [34]): every executor keeps a local model replica, runs local
+// mini-batch SGD over its partition each round, and the replicas are
+// averaged with a ring AllReduce — no parameter servers and no driver in
+// the data path at all. It trades statistical efficiency (model averaging)
+// for communication locality.
+func TrainLRMLlibStar(p *simnet.Proc, e *core.Engine, dataset *rdd.RDD[data.Instance], dim int, cfg lr.Config, localSteps int) (*core.Trace, []float64, error) {
+	if cfg.Iterations <= 0 {
+		return nil, nil, fmt.Errorf("baselines: iterations must be positive")
+	}
+	if localSteps < 1 {
+		localSteps = 1
+	}
+	trace := &core.Trace{Name: "MLlib*"}
+	cost := e.Cluster.Cost
+	execs := e.Cluster.Executors
+	w := len(execs)
+	models := make([][]float64, dataset.Partitions())
+	for i := range models {
+		models[i] = make([]float64, dim)
+	}
+
+	type stat struct {
+		Loss float64
+		N    int
+	}
+	for it := 0; it < cfg.Iterations; it++ {
+		batch := dataset.Sample(cfg.BatchFraction, cfg.Seed+uint64(it))
+		eta := cfg.LearningRate / sqrtIter(it+1)
+		stats := rdd.RunPartitions(p, batch, 16, func(tc *rdd.TaskContext, part int, rows []data.Instance) stat {
+			tc.Commit()
+			if len(rows) == 0 {
+				return stat{}
+			}
+			local := models[part]
+			var lossSum float64
+			per := (len(rows) + localSteps - 1) / localSteps
+			for s := 0; s < localSteps; s++ {
+				lo := s * per
+				hi := min(len(rows), lo+per)
+				if lo >= hi {
+					break
+				}
+				g, loss := lr.BatchGradient(cfg.Objective, rows[lo:hi], func(i int) float64 { return local[i] })
+				lossSum += loss
+				step := eta / float64(hi-lo)
+				for i, v := range g {
+					local[i] -= step * v
+				}
+			}
+			tc.Charge(cost.GradWork(lr.TotalNnz(rows)))
+			return stat{Loss: lossSum, N: len(rows)}
+		})
+		// Ring AllReduce of the dense model replicas: each executor sends
+		// 2(W-1) chunks of dim/W values.
+		if w > 1 {
+			chunk := cost.DenseBytes(dim) / float64(w)
+			for step := 0; step < 2*(w-1); step++ {
+				g := p.Sim().NewGroup()
+				for i := 0; i < w; i++ {
+					src, dst := execs[i], execs[(i+1)%w]
+					g.Go("mllibstar-ring", func(cp *simnet.Proc) {
+						src.Send(cp, dst, chunk)
+						dst.Compute(cp, cost.RequestHandleWork+cost.ElemWork(dim/w))
+					})
+				}
+				g.Wait(p)
+			}
+		}
+		// Host-side averaging (the simulation charged the ring above).
+		avg := make([]float64, dim)
+		active := 0
+		for part := range models {
+			linalg.Axpy(1, models[part], avg)
+			active++
+		}
+		linalg.Scale(1/float64(active), avg)
+		for part := range models {
+			copy(models[part], avg)
+		}
+		var lossSum float64
+		var count int
+		for _, st := range stats {
+			lossSum += st.Loss
+			count += st.N
+		}
+		if count > 0 {
+			trace.Add(p.Now(), lossSum/float64(count))
+		}
+	}
+	return trace, models[0], nil
+}
+
+// gradAggSpec builds the shared gradient aggregation spec against model w.
+func gradAggSpec(e *core.Engine, dim int, cfg lr.Config, w []float64) rdd.AggSpec[data.Instance, *mllibAgg] {
+	cost := e.Cluster.Cost
+	return rdd.AggSpec[data.Instance, *mllibAgg]{
+		Zero: func() *mllibAgg { return &mllibAgg{Grad: make([]float64, dim)} },
+		Seq: func(tc *rdd.TaskContext, acc *mllibAgg, inst data.Instance) *mllibAgg {
+			z := inst.Features.DotDense(w)
+			var g float64
+			switch cfg.Objective {
+			case lr.Logistic:
+				g = linalg.Sigmoid(z) - inst.Label
+				acc.Loss += linalg.LogLoss(z, inst.Label)
+			case lr.Hinge:
+				y := 2*inst.Label - 1
+				if y*z < 1 {
+					g = -y
+					acc.Loss += 1 - y*z
+				}
+			}
+			if g != 0 {
+				inst.Features.AddToDense(acc.Grad, g)
+			}
+			tc.Charge(cost.GradWork(inst.Features.Nnz()))
+			acc.N++
+			return acc
+		},
+		Comb: func(a, b *mllibAgg) *mllibAgg {
+			if a.N == 0 {
+				return b
+			}
+			if b.N == 0 {
+				return a
+			}
+			linalg.Axpy(1, b.Grad, a.Grad)
+			a.Loss += b.Loss
+			a.N += b.N
+			return a
+		},
+		Bytes:    func(*mllibAgg) float64 { return cost.DenseBytes(dim) },
+		CombWork: cost.ElemWork(dim),
+	}
+}
+
+func sqrtIter(it int) float64 { return math.Sqrt(float64(it)) }

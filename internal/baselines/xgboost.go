@@ -1,0 +1,58 @@
+package baselines
+
+import (
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/ml/gbdt"
+	"repro/internal/rdd"
+	"repro/internal/simnet"
+)
+
+// TrainGBDTXGBoost trains GBDT with XGBoost's communication strategy — ring
+// AllReduce of the gradient histograms and redundant split finding on every
+// worker — by running the shared histogram-GBDT implementation with the
+// AllReduce backend. The math (binning, gain, leaf values) is identical to
+// the PS2 path, so Figure 11's comparison isolates communication.
+func TrainGBDTXGBoost(p *simnet.Proc, e *core.Engine, dataset *rdd.RDD[gbdt.Row], features int, edges [][]float64, cfg gbdt.Config) (*gbdt.Model, error) {
+	cfg.Backend = gbdt.BackendAllReduce
+	return gbdt.Train(p, e, dataset, features, edges, cfg)
+}
+
+// TrainGBDTMLlib trains GBDT with Spark MLlib's strategy — full histograms
+// shipped to the single driver. Beyond the memory threshold it fails with
+// ErrOOM, reproducing the paper's observation that "Spark MLlib always fails
+// due to the Out-of-Memory exception" on the Gender dataset.
+func TrainGBDTMLlib(p *simnet.Proc, e *core.Engine, ds *data.TabularDataset, cfg gbdt.Config) (*gbdt.Model, error) {
+	// MLlib materializes per-partition stats plus the whole binned dataset
+	// on the driver during aggregation; the scaled heap model charges rows ×
+	// features for staging plus histograms per partition.
+	need := float64(len(ds.X)*ds.Config.Features) * 8
+	if need > MLlibMaxModelBytes {
+		return nil, ErrOOM
+	}
+	cfg.Backend = gbdt.BackendDriver
+	r, edges := gbdt.PrepareRDD(p, e, ds, cfg)
+	return gbdt.Train(p, e, r, ds.Config.Features, edges, cfg)
+}
+
+// Capability mirrors the paper's Table 3: which systems implement which
+// workloads.
+type Capability struct {
+	System   string
+	LR       bool
+	DeepWalk bool
+	GBDT     bool
+	LDA      bool
+}
+
+// CapabilityMatrix returns Table 3.
+func CapabilityMatrix() []Capability {
+	return []Capability{
+		{System: "Spark MLlib", LR: true, DeepWalk: false, GBDT: true, LDA: true},
+		{System: "DistML", LR: true, DeepWalk: false, GBDT: false, LDA: true},
+		{System: "Glint", LR: false, DeepWalk: false, GBDT: false, LDA: true},
+		{System: "Petuum", LR: true, DeepWalk: false, GBDT: false, LDA: true},
+		{System: "XGBoost", LR: false, DeepWalk: false, GBDT: true, LDA: false},
+		{System: "PS2", LR: true, DeepWalk: true, GBDT: true, LDA: true},
+	}
+}

@@ -1,0 +1,171 @@
+package bench
+
+import (
+	"bytes"
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsRunQuick smoke-runs every registered experiment at quick
+// scale and checks the output renders.
+func TestAllExperimentsRunQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick sweep still takes tens of seconds")
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			res := e.Run(Opts{Quick: true})
+			if res.ID != e.ID {
+				t.Fatalf("result id %q != %q", res.ID, e.ID)
+			}
+			var buf bytes.Buffer
+			res.Render(&buf)
+			if !strings.Contains(buf.String(), e.ID) {
+				t.Fatalf("render missing id:\n%s", buf.String())
+			}
+			if len(res.Rows) == 0 {
+				t.Fatal("experiment produced no rows")
+			}
+		})
+	}
+}
+
+// parseSpeed extracts the numeric part of a "3.4x" cell.
+func parseSpeed(t *testing.T, cell string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(cell, "x"), 64)
+	if err != nil {
+		t.Fatalf("bad speedup cell %q", cell)
+	}
+	return v
+}
+
+// parseNum parses a numeric table cell.
+func parseNum(t *testing.T, cell string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(cell, 64)
+	if err != nil {
+		t.Fatalf("bad numeric cell %q", cell)
+	}
+	return v
+}
+
+func TestFig9aShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape checks run full experiments")
+	}
+	res := runFig9a(Opts{Quick: true})
+	// Rows: Spark-Adam, PS-Adam, PS2-Adam. PS2 must win, Spark must lose.
+	spark := parseSpeed(t, res.Rows[0][3])
+	pullpush := parseSpeed(t, res.Rows[1][3])
+	if !(spark > pullpush && pullpush > 1.0) {
+		t.Fatalf("ordering violated: Spark=%vx PS=%vx", spark, pullpush)
+	}
+}
+
+func TestFig1aShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape checks run full experiments")
+	}
+	res := runFig1a(Opts{Quick: true})
+	// Per-iteration time must grow monotonically with dimension.
+	var prev float64 = -1
+	for _, row := range res.Rows {
+		v := parseNum(t, row[1])
+		if v < prev {
+			t.Fatalf("MLlib time not monotone in dimension: %v after %v", v, prev)
+		}
+		prev = v
+	}
+	last := parseSpeed(t, res.Rows[len(res.Rows)-1][2])
+	if last < 10 {
+		t.Fatalf("MLlib degradation only %vx over the sweep; paper shape is orders of magnitude", last)
+	}
+}
+
+func TestFig13cShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape checks run full experiments")
+	}
+	res := runFig13c(Opts{Quick: true})
+	t0 := parseNum(t, res.Rows[0][1])
+	t10 := parseNum(t, res.Rows[2][1])
+	if t10 <= t0 {
+		t.Fatalf("10%% failures (%vs) not slower than clean (%vs)", t10, t0)
+	}
+	// All runs converge to (numerically) the same loss.
+	l0 := parseNum(t, res.Rows[0][2])
+	l10 := parseNum(t, res.Rows[2][2])
+	if math.Abs(l0-l10) > 1e-6*(1+math.Abs(l0)) {
+		t.Fatalf("failure injection changed the solution: %v vs %v", l0, l10)
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	res := runTable3(Opts{Quick: true})
+	if len(res.Rows) != 6 {
+		t.Fatalf("table3 rows = %d, want 6", len(res.Rows))
+	}
+	var ps2Row []string
+	for _, row := range res.Rows {
+		if row[0] == "PS2" {
+			ps2Row = row
+		}
+	}
+	for i := 1; i < 5; i++ {
+		if ps2Row[i] != "yes" {
+			t.Fatalf("PS2 row = %v, want full support", ps2Row)
+		}
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"fig1a", "fig1b", "table1", "table2", "table3", "table4",
+		"fig9a", "fig9b", "fig9c", "fig9d",
+		"fig10a", "fig10b", "fig11",
+		"fig12a", "fig12b", "fig12c",
+		"fig13a", "fig13b", "fig13c",
+		"ablation-colocation", "ablation-sparsepull", "ablation-servers", "ablation-batching",
+		"ablation-checkpoint",
+		"ext-treeagg", "ext-mllibstar", "ext-ssp", "ext-fm", "ext-node2vec",
+	}
+	for _, id := range want {
+		if _, ok := ByID(id); !ok {
+			t.Fatalf("experiment %q not registered", id)
+		}
+	}
+	if len(All()) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(All()), len(want))
+	}
+}
+
+func TestByIDUnknown(t *testing.T) {
+	if _, ok := ByID("nope"); ok {
+		t.Fatal("unknown id resolved")
+	}
+}
+
+func TestResultHelpers(t *testing.T) {
+	r := &Result{ID: "x", Title: "t", Header: []string{"a", "b"}}
+	r.AddRow("s", 1.5)
+	r.AddRow(3, 0.001)
+	r.Note("hello %d", 7)
+	var buf bytes.Buffer
+	r.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"== x: t ==", "hello 7", "1.5"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	if formatFloat(math.NaN()) != "n/a" || formatFloat(math.Inf(1)) != "inf" {
+		t.Fatal("formatFloat special cases wrong")
+	}
+	if fmtSpeed(math.NaN()) != "n/a" {
+		t.Fatal("fmtSpeed NaN wrong")
+	}
+}

@@ -1,0 +1,180 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/ml/lda"
+	"repro/internal/rdd"
+	"repro/internal/simnet"
+)
+
+func init() {
+	register("fig12a", "LDA on PubMED-like: PS2 vs Petuum vs Glint", runFig12a)
+	register("fig12b", "LDA on PubMED-like, small K: PS2 vs Spark MLlib", runFig12b)
+	register("fig12c", "LDA on APP-like: PS2 only (others cannot handle it)", runFig12c)
+}
+
+func pubmedCorpus(o Opts) *data.Corpus {
+	cfg := data.PubMEDLike()
+	if o.Quick {
+		cfg.Docs, cfg.Vocab, cfg.MeanDocLen = 800, 1500, 50
+	}
+	c, err := data.GenerateCorpus(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+func docsRDD(e *core.Engine, c *data.Corpus) *rdd.RDD[data.Document] {
+	return rdd.FromSlices(e.RDD, data.PartitionDocs(c.Docs, e.RDD.NumExecutors())).Cache()
+}
+
+func runFig12a(o Opts) *Result {
+	c := pubmedCorpus(o)
+	topics := 50 // paper: 1000, scaled with the corpus
+	iters := 10
+	workers := 20
+	if o.Quick {
+		topics, iters, workers = 20, 5, 8
+	}
+
+	runPS2 := func() (*core.Trace, float64) {
+		e := paperEngine(workers, workers)
+		cfg := lda.DefaultConfig()
+		cfg.Topics = topics
+		cfg.Iterations = iters
+		var tr *core.Trace
+		end := e.Run(func(p *simnet.Proc) {
+			m, err := lda.Train(p, e, docsRDD(e, c), c.Config.Vocab, cfg)
+			if err != nil {
+				panic(err)
+			}
+			tr = m.Trace
+		})
+		tr.Name = "PS2"
+		return tr, end
+	}
+	runBaseline := func(name string, f func(p *simnet.Proc, e *core.Engine) (*core.Trace, error)) (*core.Trace, float64) {
+		e := paperEngine(workers, workers)
+		var tr *core.Trace
+		end := e.Run(func(p *simnet.Proc) {
+			t, err := f(p, e)
+			if err != nil {
+				panic(err)
+			}
+			tr = t
+		})
+		tr.Name = name
+		return tr, end
+	}
+	ps2, ps2Time := runPS2()
+	petuum, petuumTime := runBaseline("Petuum", func(p *simnet.Proc, e *core.Engine) (*core.Trace, error) {
+		return baselines.TrainLDAPetuum(p, e, docsRDD(e, c), c.Config.Vocab, topics, iters, 0.5, 0.01, 23)
+	})
+	glint, glintTime := runBaseline("Glint", func(p *simnet.Proc, e *core.Engine) (*core.Trace, error) {
+		return baselines.TrainLDAGlint(p, e, docsRDD(e, c), c.Config.Vocab, topics, iters, 0.5, 0.01, 23)
+	})
+
+	r := &Result{ID: "fig12a",
+		Title:  fmt.Sprintf("LDA, K=%d, %d Gibbs iterations, %d docs x vocab %d", topics, iters, len(c.Docs), c.Config.Vocab),
+		Header: []string{"system", "time (s)", "final loglik/token", "PS2 speedup"}}
+	r.AddRow("PS2", ps2Time, ps2.Final(), fmtSpeed(1.0))
+	r.AddRow("Petuum", petuumTime, petuum.Final(), fmtSpeed(petuumTime/ps2Time))
+	r.AddRow("Glint", glintTime, glint.Final(), fmtSpeed(glintTime/ps2Time))
+	r.Traces = []*core.Trace{ps2, petuum, glint}
+	r.Note("paper: 386s (PS2) vs 1440s (Petuum, 3.7x) vs 3500s (Glint, 9x) to converge")
+	return r
+}
+
+func runFig12b(o Opts) *Result {
+	c := pubmedCorpus(o)
+	topics := 20 // paper uses K=100 because MLlib cannot go higher; scaled
+	iters := 8
+	workers := 20
+	if o.Quick {
+		topics, iters, workers = 10, 4, 8
+	}
+
+	ePS2 := paperEngine(workers, workers)
+	cfg := lda.DefaultConfig()
+	cfg.Topics = topics
+	cfg.Iterations = iters
+	var ps2 *core.Trace
+	ps2Time := ePS2.Run(func(p *simnet.Proc) {
+		m, err := lda.Train(p, ePS2, docsRDD(ePS2, c), c.Config.Vocab, cfg)
+		if err != nil {
+			panic(err)
+		}
+		ps2 = m.Trace
+		ps2.Name = "PS2"
+	})
+	eML := paperEngine(workers, 0)
+	var mllib *core.Trace
+	mllibTime := eML.Run(func(p *simnet.Proc) {
+		tr, err := baselines.TrainLDAMLlib(p, eML, docsRDD(eML, c), c.Config.Vocab, topics, iters, 0.5, 0.01, 23)
+		if err != nil {
+			panic(err)
+		}
+		mllib = tr
+		mllib.Name = "MLlib"
+	})
+
+	r := &Result{ID: "fig12b",
+		Title:  fmt.Sprintf("LDA, K=%d (MLlib's ceiling), %d iterations", topics, iters),
+		Header: []string{"system", "time (s)", "final loglik/token", "PS2 speedup"}}
+	r.AddRow("PS2", ps2Time, ps2.Final(), fmtSpeed(1.0))
+	r.AddRow("MLlib", mllibTime, mllib.Final(), fmtSpeed(mllibTime/ps2Time))
+	r.Traces = []*core.Trace{ps2, mllib}
+	r.Note("paper: PS2 17x faster than Spark MLlib at K=100; MLlib OOMs beyond that")
+
+	// Demonstrate the ceiling: MLlib at the PS2-scale topic count must OOM.
+	eOOM := paperEngine(workers, 0)
+	eOOM.Run(func(p *simnet.Proc) {
+		_, err := baselines.TrainLDAMLlib(p, eOOM, docsRDD(eOOM, c), c.Config.Vocab, 100_000, 1, 0.5, 0.01, 23)
+		if errors.Is(err, baselines.ErrOOM) {
+			r.Note("MLlib at large K: %v (as in the paper)", err)
+		} else {
+			r.Note("UNEXPECTED: MLlib at large K did not OOM")
+		}
+	})
+	return r
+}
+
+func runFig12c(o Opts) *Result {
+	cfg := data.AppLike()
+	topics := 80
+	iters := 6
+	workers := 20
+	if o.Quick {
+		cfg.Docs, cfg.Vocab, cfg.MeanDocLen = 1500, 2500, 60
+		topics, iters, workers = 20, 3, 8
+	}
+	c, err := data.GenerateCorpus(cfg)
+	if err != nil {
+		panic(err)
+	}
+	e := paperEngine(workers, workers)
+	lcfg := lda.DefaultConfig()
+	lcfg.Topics = topics
+	lcfg.Iterations = iters
+	var tr *core.Trace
+	end := e.Run(func(p *simnet.Proc) {
+		m, err := lda.Train(p, e, docsRDD(e, c), c.Config.Vocab, lcfg)
+		if err != nil {
+			panic(err)
+		}
+		tr = m.Trace
+	})
+	r := &Result{ID: "fig12c",
+		Title:  fmt.Sprintf("LDA on APP-like (%d docs, vocab %d, K=%d) — PS2 only", len(c.Docs), c.Config.Vocab, topics),
+		Header: []string{"system", "time (s)", "first loglik", "final loglik"}}
+	r.AddRow("PS2", end, tr.Values[0], tr.Final())
+	r.Traces = []*core.Trace{tr}
+	r.Note("paper: only PS2 completes the APP corpus (2.3B docs); baselines cannot handle it")
+	return r
+}

@@ -1,0 +1,128 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/dcv"
+	"repro/internal/linalg"
+	"repro/internal/simnet"
+)
+
+func init() {
+	register("table1", "DCV operator set, each demonstrated live with its virtual cost", runTable1)
+}
+
+// runTable1 exercises every operator of the paper's Table 1 once on a
+// dim-100K DCV over 8 servers and reports each operator's virtual latency
+// and wire bytes — making the operator-set table executable.
+func runTable1(o Opts) *Result {
+	dim := 100_000
+	if o.Quick {
+		dim = 20_000
+	}
+	e := paperEngine(4, 8)
+	r := &Result{ID: "table1", Title: fmt.Sprintf("DCV operators on a dim-%d vector, 8 servers", dim),
+		Header: []string{"category", "operator", "virtual ms", "wire KB"}}
+
+	e.Run(func(p *simnet.Proc) {
+		worker := e.Cluster.Executors[0]
+		driver := e.Driver()
+		measure := func(category, name string, fn func()) {
+			startBytes := e.Cluster.TotalBytesOnWire()
+			start := p.Now()
+			fn()
+			r.AddRow(category, name,
+				fmt.Sprintf("%.3f", 1000*(p.Now()-start)),
+				fmt.Sprintf("%.1f", (e.Cluster.TotalBytesOnWire()-startBytes)/1000))
+		}
+
+		var v, w *dcv.Vector
+		measure("creation", "dense", func() {
+			var err error
+			v, err = e.DCV.Dense(p, dim, 4)
+			if err != nil {
+				panic(err)
+			}
+		})
+		measure("creation", "derive", func() { w = v.MustDerive() })
+		var sp *dcv.Vector
+		measure("creation", "sparse", func() {
+			var err error
+			sp, err = e.DCV.Sparse(p, dim, 1)
+			if err != nil {
+				panic(err)
+			}
+		})
+		_ = sp
+
+		vals := make([]float64, dim)
+		for i := range vals {
+			vals[i] = float64(i%100) / 100
+		}
+		v.Set(p, worker, vals)
+		w.Set(p, worker, vals)
+
+		measure("row access", "pull", func() { v.Pull(p, worker) })
+		idx := make([]int, 1000)
+		for i := range idx {
+			idx[i] = i * (dim / 1000)
+		}
+		measure("row access", "pull (sparse)", func() { v.PullIndices(p, worker, idx) })
+		delta, err := linalg.NewSparse(idx, make([]float64, len(idx)))
+		if err != nil {
+			panic(err)
+		}
+		measure("row access", "push (add)", func() { v.Add(p, worker, delta) })
+		measure("row access", "sum", func() { v.Sum(p, worker) })
+		measure("row access", "nnz", func() { v.Nnz(p, worker) })
+		measure("row access", "norm2", func() { v.Norm2(p, worker) })
+
+		measure("column access", "dot", func() {
+			if _, err := v.Dot(p, worker, w); err != nil {
+				panic(err)
+			}
+		})
+		measure("column access", "axpy", func() {
+			if err := v.Axpy(p, driver, 0.5, w); err != nil {
+				panic(err)
+			}
+		})
+		measure("column access", "add", func() {
+			if err := v.AddVec(p, driver, w); err != nil {
+				panic(err)
+			}
+		})
+		measure("column access", "sub", func() {
+			if err := v.SubVec(p, driver, w); err != nil {
+				panic(err)
+			}
+		})
+		measure("column access", "mul", func() {
+			if err := v.MulVec(p, driver, w); err != nil {
+				panic(err)
+			}
+		})
+		measure("column access", "div", func() {
+			if err := v.DivVec(p, driver, w); err != nil {
+				panic(err)
+			}
+		})
+		measure("column access", "copy", func() {
+			if err := v.CopyFrom(p, driver, w); err != nil {
+				panic(err)
+			}
+		})
+		measure("column access", "zip+mapPartition", func() {
+			if err := v.ZipMap(p, driver, 2, func(lo int, rows [][]float64) {
+				a, b := rows[0], rows[1]
+				for i := range a {
+					a[i] += 0.1 * b[i]
+				}
+			}, w); err != nil {
+				panic(err)
+			}
+		})
+	})
+	r.Note("column-access operators move only commands and scalars: compare their wire KB against the row-access pull")
+	return r
+}

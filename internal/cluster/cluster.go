@@ -1,0 +1,145 @@
+// Package cluster builds the simulated machine topology that a PS2 job runs
+// on: one driver/coordinator machine, E executor machines and P parameter
+// server machines, all attached to a simnet simulation.
+//
+// The paper's testbed is a shared Tencent Yarn cluster (2.2 GHz × 12-core
+// machines, 256 GB RAM, 10 Gbps Ethernet). The defaults here are a scaled
+// version of that: experiments shrink the datasets by roughly 10×, so the
+// default NIC bandwidth is also scaled down 10× to preserve the
+// compute-to-communication ratio that the paper's results depend on.
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/simnet"
+)
+
+// Config describes a cluster.
+type Config struct {
+	Executors int
+	Servers   int
+	Node      simnet.NodeConfig // template for every machine
+
+	// CostModel calibrates how much virtual work each logical operation
+	// charges. Zero fields take defaults.
+	Cost CostModel
+}
+
+// CostModel maps logical operation counts to virtual work units (one unit =
+// one "flop-ish" operation at NodeConfig.WorkRate units/sec) and to wire
+// bytes.
+type CostModel struct {
+	BytesPerFloat       float64 // dense vector entry on the wire
+	BytesPerSparseEntry float64 // (index, value) pair on the wire
+	RequestOverheadB    float64 // fixed per-RPC framing bytes
+	FlopsPerNnz         float64 // work per nonzero in a gradient pass
+	FlopsPerElem        float64 // work per element in a dense vector op
+	TaskLaunchSec       float64 // scheduling delay to start one task
+	// RequestHandleWork is the server-side work to parse and dispatch one
+	// request (actor/RPC handling). Batched clients amortize it over many
+	// items per request; per-item clients like Glint's pay it per word —
+	// one of the two reasons the paper's Figure 12(a) shows Glint far
+	// behind PS2.
+	RequestHandleWork float64
+}
+
+// DefaultCostModel returns the calibration used by all experiments.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		BytesPerFloat:       8,
+		BytesPerSparseEntry: 12, // 4-byte index (paper models are < 2^32 dims) + 8-byte value
+		RequestOverheadB:    256,
+		FlopsPerNnz:         8,
+		FlopsPerElem:        2,
+		TaskLaunchSec:       0.002,
+		RequestHandleWork:   10000, // ~100us per request at the default rate
+	}
+}
+
+// DefaultConfig returns a 20-executor, 20-server cluster matching the paper's
+// common setup, with 10×-scaled NICs.
+func DefaultConfig() Config {
+	node := simnet.DefaultNodeConfig()
+	node.BandwidthBps = 1.25e8 // 1 Gbps-equivalent for 10×-scaled data
+	node.LatencySec = 1e-5     // effective per-request latency: real clients pipeline RPCs
+	node.WorkRate = 1e8        // work units per core-second
+	return Config{
+		Executors: 20,
+		Servers:   20,
+		Node:      node,
+		Cost:      DefaultCostModel(),
+	}
+}
+
+// Cluster is the instantiated topology.
+type Cluster struct {
+	Sim       *simnet.Sim
+	Driver    *simnet.Node
+	Executors []*simnet.Node
+	Servers   []*simnet.Node
+	// Store is the reliable external storage (HDFS in the paper) that
+	// parameter-server checkpoints are written to and recovered from.
+	Store *simnet.Node
+	Cost  CostModel
+}
+
+// New creates a cluster inside sim.
+func New(sim *simnet.Sim, cfg Config) *Cluster {
+	if cfg.Executors < 1 {
+		cfg.Executors = 1
+	}
+	if cfg.Servers < 0 {
+		cfg.Servers = 0
+	}
+	if cfg.Cost == (CostModel{}) {
+		cfg.Cost = DefaultCostModel()
+	}
+	c := &Cluster{Sim: sim, Cost: cfg.Cost}
+	id := 0
+	mk := func(name string) *simnet.Node {
+		nc := cfg.Node
+		nc.Name = name
+		n := sim.NewNode(id, nc)
+		id++
+		return n
+	}
+	c.Driver = mk("driver")
+	for i := 0; i < cfg.Executors; i++ {
+		c.Executors = append(c.Executors, mk(fmt.Sprintf("executor-%d", i)))
+	}
+	for i := 0; i < cfg.Servers; i++ {
+		c.Servers = append(c.Servers, mk(fmt.Sprintf("server-%d", i)))
+	}
+	c.Store = mk("store")
+	return c
+}
+
+// TotalBytesOnWire sums virtual bytes sent by every machine, a convenient
+// communication-volume metric for ablation benchmarks.
+func (c *Cluster) TotalBytesOnWire() float64 {
+	total := c.Driver.BytesSent
+	for _, n := range c.Executors {
+		total += n.BytesSent
+	}
+	for _, n := range c.Servers {
+		total += n.BytesSent
+	}
+	return total
+}
+
+// DenseBytes returns the wire size of an n-element dense vector.
+func (m CostModel) DenseBytes(n int) float64 {
+	return m.RequestOverheadB + float64(n)*m.BytesPerFloat
+}
+
+// SparseBytes returns the wire size of an n-entry sparse vector.
+func (m CostModel) SparseBytes(nnz int) float64 {
+	return m.RequestOverheadB + float64(nnz)*m.BytesPerSparseEntry
+}
+
+// GradWork returns the compute charge for a gradient pass over nnz nonzeros.
+func (m CostModel) GradWork(nnz int) float64 { return float64(nnz) * m.FlopsPerNnz }
+
+// ElemWork returns the compute charge for an n-element dense vector op.
+func (m CostModel) ElemWork(n int) float64 { return float64(n) * m.FlopsPerElem }

@@ -1,0 +1,69 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/simnet"
+)
+
+func TestNewClusterShape(t *testing.T) {
+	sim := simnet.New()
+	c := New(sim, DefaultConfig())
+	if len(c.Executors) != 20 || len(c.Servers) != 20 {
+		t.Fatalf("shape = %d executors, %d servers", len(c.Executors), len(c.Servers))
+	}
+	if c.Driver == nil || c.Store == nil {
+		t.Fatal("driver or store missing")
+	}
+	// All node IDs distinct.
+	seen := map[int]bool{c.Driver.ID: true}
+	for _, n := range append(append([]*simnet.Node{}, c.Executors...), c.Servers...) {
+		if seen[n.ID] {
+			t.Fatalf("node id %d reused", n.ID)
+		}
+		seen[n.ID] = true
+	}
+	if seen[c.Store.ID] {
+		t.Fatal("store id reused")
+	}
+}
+
+func TestNewClusterClampsDegenerateConfig(t *testing.T) {
+	sim := simnet.New()
+	c := New(sim, Config{Executors: 0, Servers: -3})
+	if len(c.Executors) != 1 || len(c.Servers) != 0 {
+		t.Fatalf("clamped shape = %d/%d", len(c.Executors), len(c.Servers))
+	}
+	if c.Cost == (CostModel{}) {
+		t.Fatal("zero cost model not defaulted")
+	}
+}
+
+func TestCostModelHelpers(t *testing.T) {
+	m := DefaultCostModel()
+	if m.DenseBytes(0) != m.RequestOverheadB {
+		t.Fatal("DenseBytes(0) should be pure overhead")
+	}
+	if m.DenseBytes(10)-m.DenseBytes(0) != 10*m.BytesPerFloat {
+		t.Fatal("DenseBytes slope wrong")
+	}
+	if m.SparseBytes(10)-m.SparseBytes(0) != 10*m.BytesPerSparseEntry {
+		t.Fatal("SparseBytes slope wrong")
+	}
+	if m.GradWork(100) != 100*m.FlopsPerNnz || m.ElemWork(100) != 100*m.FlopsPerElem {
+		t.Fatal("work helpers wrong")
+	}
+}
+
+func TestTotalBytesOnWire(t *testing.T) {
+	sim := simnet.New()
+	c := New(sim, Config{Executors: 2, Servers: 1})
+	sim.Spawn("xfer", func(p *simnet.Proc) {
+		c.Executors[0].Send(p, c.Servers[0], 1000)
+		c.Driver.Send(p, c.Executors[1], 500)
+	})
+	sim.Run()
+	if got := c.TotalBytesOnWire(); got != 1500 {
+		t.Fatalf("TotalBytesOnWire = %v, want 1500", got)
+	}
+}

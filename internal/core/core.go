@@ -1,0 +1,262 @@
+// Package core assembles the PS2 system: it boots a simulated cluster, a
+// Spark-like dataflow application (internal/rdd) and a parameter-server
+// application (internal/ps) side by side — two separate applications, as in
+// the paper's Section 5.1 — and exposes a DCV session (internal/dcv) over the
+// servers. An Engine is what user programs, examples and benchmarks create;
+// training jobs run as the driver process of the simulation and use RDD
+// operators for data parallelism and DCV operators for model management.
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/dcv"
+	"repro/internal/ps"
+	"repro/internal/rdd"
+	"repro/internal/simnet"
+)
+
+// Options configures an engine. The zero value is not valid; use
+// DefaultOptions and override.
+type Options struct {
+	Executors int
+	Servers   int
+	Node      simnet.NodeConfig
+	Cost      cluster.CostModel
+
+	// TaskFailProb injects task-attempt failures into the dataflow scheduler
+	// (Fig 13(c)).
+	TaskFailProb float64
+	// Seed seeds the scheduler's failure injection.
+	Seed uint64
+}
+
+// DefaultOptions mirrors the paper's common setup: 20 executors, 20 servers.
+func DefaultOptions() Options {
+	cfg := cluster.DefaultConfig()
+	return Options{
+		Executors: cfg.Executors,
+		Servers:   cfg.Servers,
+		Node:      cfg.Node,
+		Cost:      cfg.Cost,
+		Seed:      1,
+	}
+}
+
+// Engine is one PS2 application instance.
+type Engine struct {
+	Sim     *simnet.Sim
+	Cluster *cluster.Cluster
+	RDD     *rdd.Context
+	PS      *ps.Master
+	DCV     *dcv.Session
+}
+
+// NewEngine boots the cluster and both applications.
+func NewEngine(opt Options) *Engine {
+	sim := simnet.New()
+	cl := cluster.New(sim, cluster.Config{
+		Executors: opt.Executors,
+		Servers:   opt.Servers,
+		Node:      opt.Node,
+		Cost:      opt.Cost,
+	})
+	ctx := rdd.NewContext(cl)
+	ctx.FailProb = opt.TaskFailProb
+	if opt.Seed != 0 {
+		ctx.Seed(opt.Seed)
+	}
+	master := ps.NewMaster(cl)
+	return &Engine{
+		Sim:     sim,
+		Cluster: cl,
+		RDD:     ctx,
+		PS:      master,
+		DCV:     dcv.NewSession(master),
+	}
+}
+
+// Run executes job as the driver process and runs the simulation to
+// completion, returning the virtual time at which the job finished.
+func (e *Engine) Run(job func(p *simnet.Proc)) simnet.Time {
+	var end simnet.Time
+	e.Sim.Spawn("driver", func(p *simnet.Proc) {
+		job(p)
+		end = p.Now()
+	})
+	e.Sim.Run()
+	return end
+}
+
+// Driver returns the coordinator machine (the Spark driver, which also hosts
+// the PS-master).
+func (e *Engine) Driver() *simnet.Node { return e.Cluster.Driver }
+
+// Trace is a convergence curve: (virtual time, metric) samples appended as
+// training progresses. Experiments compare systems by the time each trace
+// needs to reach a target metric, exactly how the paper reads its loss
+// figures.
+type Trace struct {
+	Name   string
+	Times  []float64
+	Values []float64
+}
+
+// Add appends one sample.
+func (t *Trace) Add(time, value float64) {
+	t.Times = append(t.Times, time)
+	t.Values = append(t.Values, value)
+}
+
+// Len returns the number of samples.
+func (t *Trace) Len() int { return len(t.Times) }
+
+// Final returns the last metric value, or NaN when empty.
+func (t *Trace) Final() float64 {
+	if len(t.Values) == 0 {
+		return math.NaN()
+	}
+	return t.Values[len(t.Values)-1]
+}
+
+// TimeToReach returns the first virtual time at which the metric dropped to
+// target or below, or +Inf if it never did.
+func (t *Trace) TimeToReach(target float64) float64 {
+	for i, v := range t.Values {
+		if v <= target {
+			return t.Times[i]
+		}
+	}
+	return math.Inf(1)
+}
+
+// TimeToReachRising is TimeToReach for metrics that grow toward the target
+// (e.g. log-likelihood).
+func (t *Trace) TimeToReachRising(target float64) float64 {
+	for i, v := range t.Values {
+		if v >= target {
+			return t.Times[i]
+		}
+	}
+	return math.Inf(1)
+}
+
+// Best returns the minimum metric value seen, or NaN when empty.
+func (t *Trace) Best() float64 {
+	if len(t.Values) == 0 {
+		return math.NaN()
+	}
+	best := t.Values[0]
+	for _, v := range t.Values[1:] {
+		if v < best {
+			best = v
+		}
+	}
+	return best
+}
+
+// String renders a compact summary.
+func (t *Trace) String() string {
+	if t.Len() == 0 {
+		return fmt.Sprintf("%s: empty", t.Name)
+	}
+	return fmt.Sprintf("%s: %d samples, final=%.4f at t=%.1fs", t.Name, t.Len(), t.Final(), t.Times[len(t.Times)-1])
+}
+
+// Downsample returns up to n evenly spaced samples (for printing curves).
+func (t *Trace) Downsample(n int) *Trace {
+	if t.Len() <= n || n < 2 {
+		return t
+	}
+	out := &Trace{Name: t.Name}
+	for i := 0; i < n; i++ {
+		j := i * (t.Len() - 1) / (n - 1)
+		out.Add(t.Times[j], t.Values[j])
+	}
+	return out
+}
+
+// Speedup returns how many times faster a is than b at reaching target
+// (falling metric). Returns NaN if either never reaches it.
+func Speedup(a, b *Trace, target float64) float64 {
+	ta, tb := a.TimeToReach(target), b.TimeToReach(target)
+	if math.IsInf(ta, 1) || math.IsInf(tb, 1) || ta == 0 {
+		return math.NaN()
+	}
+	return tb / ta
+}
+
+// CommonTarget picks a loss target both traces reach: slightly above the
+// worse of the two best losses. Used by experiments to compare convergence
+// fairly when systems plateau at different levels.
+func CommonTarget(traces ...*Trace) float64 {
+	worst := math.Inf(-1)
+	for _, t := range traces {
+		if b := t.Best(); b > worst {
+			worst = b
+		}
+	}
+	return worst * 1.02
+}
+
+// SortedTimes returns the distinct sample times across traces, ascending
+// (handy for table rendering).
+func SortedTimes(traces ...*Trace) []float64 {
+	seen := map[float64]bool{}
+	var out []float64
+	for _, t := range traces {
+		for _, tm := range t.Times {
+			if !seen[tm] {
+				seen[tm] = true
+				out = append(out, tm)
+			}
+		}
+	}
+	sort.Float64s(out)
+	return out
+}
+
+// UtilizationReport summarizes the virtual resources a finished run
+// consumed, grouped by role — the quick sanity view examples print.
+type UtilizationReport struct {
+	DriverSentMB    float64
+	DriverRecvMB    float64
+	ExecutorSentMB  float64
+	ExecutorRecvMB  float64
+	ServerSentMB    float64
+	ServerRecvMB    float64
+	ExecutorCoreSec float64
+	ServerCoreSec   float64
+	Events          uint64
+}
+
+// Report gathers the utilization counters from the cluster.
+func (e *Engine) Report() UtilizationReport {
+	const mb = 1e6
+	r := UtilizationReport{
+		DriverSentMB: e.Cluster.Driver.BytesSent / mb,
+		DriverRecvMB: e.Cluster.Driver.BytesRecv / mb,
+		Events:       e.Sim.EventsProcessed(),
+	}
+	for _, n := range e.Cluster.Executors {
+		r.ExecutorSentMB += n.BytesSent / mb
+		r.ExecutorRecvMB += n.BytesRecv / mb
+		r.ExecutorCoreSec += n.WorkDone / n.WorkRate()
+	}
+	for _, n := range e.Cluster.Servers {
+		r.ServerSentMB += n.BytesSent / mb
+		r.ServerRecvMB += n.BytesRecv / mb
+		r.ServerCoreSec += n.WorkDone / n.WorkRate()
+	}
+	return r
+}
+
+func (r UtilizationReport) String() string {
+	return fmt.Sprintf(
+		"driver %.1f/%.1f MB out/in, executors %.1f/%.1f MB (%.2f core-s), servers %.1f/%.1f MB (%.2f core-s), %d events",
+		r.DriverSentMB, r.DriverRecvMB, r.ExecutorSentMB, r.ExecutorRecvMB, r.ExecutorCoreSec,
+		r.ServerSentMB, r.ServerRecvMB, r.ServerCoreSec, r.Events)
+}

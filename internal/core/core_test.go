@@ -1,0 +1,170 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/simnet"
+)
+
+func TestEngineBoots(t *testing.T) {
+	e := NewEngine(DefaultOptions())
+	if len(e.Cluster.Executors) != 20 || len(e.Cluster.Servers) != 20 {
+		t.Fatalf("cluster shape wrong: %d executors, %d servers", len(e.Cluster.Executors), len(e.Cluster.Servers))
+	}
+	end := e.Run(func(p *simnet.Proc) {
+		p.Sleep(2.5)
+	})
+	if end != 2.5 {
+		t.Fatalf("Run returned %v, want 2.5", end)
+	}
+}
+
+func TestEngineSeparateApplications(t *testing.T) {
+	// The PS master and the dataflow context must not share machines'
+	// roles: servers are distinct from executors and the driver.
+	e := NewEngine(DefaultOptions())
+	seen := map[int]bool{seenID(e): true}
+	for _, n := range e.Cluster.Executors {
+		if seen[n.ID] {
+			t.Fatalf("node %d reused", n.ID)
+		}
+		seen[n.ID] = true
+	}
+	for _, n := range e.Cluster.Servers {
+		if seen[n.ID] {
+			t.Fatalf("node %d reused", n.ID)
+		}
+		seen[n.ID] = true
+	}
+}
+
+func seenID(e *Engine) int { return e.Cluster.Driver.ID }
+
+func TestTraceBasics(t *testing.T) {
+	tr := &Trace{Name: "x"}
+	if !math.IsNaN(tr.Final()) || !math.IsNaN(tr.Best()) {
+		t.Fatal("empty trace should be NaN")
+	}
+	tr.Add(1, 0.9)
+	tr.Add(2, 0.5)
+	tr.Add(3, 0.6)
+	tr.Add(4, 0.3)
+	if tr.Final() != 0.3 || tr.Best() != 0.3 || tr.Len() != 4 {
+		t.Fatalf("trace stats wrong: %+v", tr)
+	}
+	if got := tr.TimeToReach(0.5); got != 2 {
+		t.Fatalf("TimeToReach(0.5) = %v, want 2", got)
+	}
+	if got := tr.TimeToReach(0.1); !math.IsInf(got, 1) {
+		t.Fatalf("TimeToReach(0.1) = %v, want +Inf", got)
+	}
+	if got := tr.TimeToReachRising(0.55); got != 1 {
+		t.Fatalf("TimeToReachRising = %v, want 1", got)
+	}
+	if !strings.Contains(tr.String(), "4 samples") {
+		t.Fatalf("String = %q", tr.String())
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	a := &Trace{Name: "fast"}
+	a.Add(1, 0.5)
+	b := &Trace{Name: "slow"}
+	b.Add(10, 0.5)
+	if got := Speedup(a, b, 0.5); got != 10 {
+		t.Fatalf("Speedup = %v, want 10", got)
+	}
+	if got := Speedup(a, b, 0.1); !math.IsNaN(got) {
+		t.Fatalf("unreachable target Speedup = %v, want NaN", got)
+	}
+}
+
+func TestCommonTarget(t *testing.T) {
+	a := &Trace{}
+	a.Add(1, 0.5)
+	a.Add(2, 0.2)
+	b := &Trace{}
+	b.Add(1, 0.6)
+	b.Add(2, 0.4)
+	target := CommonTarget(a, b)
+	if target < 0.4 || target > 0.42 {
+		t.Fatalf("CommonTarget = %v, want ~0.408", target)
+	}
+	if math.IsInf(a.TimeToReach(target), 1) || math.IsInf(b.TimeToReach(target), 1) {
+		t.Fatal("both traces must reach the common target")
+	}
+}
+
+func TestDownsample(t *testing.T) {
+	tr := &Trace{Name: "x"}
+	for i := 0; i < 100; i++ {
+		tr.Add(float64(i), float64(100-i))
+	}
+	d := tr.Downsample(10)
+	if d.Len() != 10 {
+		t.Fatalf("downsampled to %d, want 10", d.Len())
+	}
+	if d.Times[0] != 0 || d.Times[9] != 99 {
+		t.Fatalf("endpoints lost: %v .. %v", d.Times[0], d.Times[9])
+	}
+	small := &Trace{}
+	small.Add(1, 1)
+	if small.Downsample(10) != small {
+		t.Fatal("short traces should be returned unchanged")
+	}
+}
+
+func TestSortedTimes(t *testing.T) {
+	a := &Trace{}
+	a.Add(3, 1)
+	a.Add(1, 1)
+	b := &Trace{}
+	b.Add(2, 1)
+	b.Add(3, 1)
+	got := SortedTimes(a, b)
+	want := []float64{1, 2, 3}
+	if len(got) != 3 {
+		t.Fatalf("SortedTimes = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SortedTimes = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestTaskFailureOptionWiresThrough(t *testing.T) {
+	opt := DefaultOptions()
+	opt.TaskFailProb = 0.25
+	e := NewEngine(opt)
+	if e.RDD.FailProb != 0.25 {
+		t.Fatalf("FailProb = %v, want 0.25", e.RDD.FailProb)
+	}
+}
+
+func TestUtilizationReport(t *testing.T) {
+	e := NewEngine(DefaultOptions())
+	e.Run(func(p *simnet.Proc) {
+		e.Cluster.Executors[0].Send(p, e.Cluster.Servers[0], 2e6)
+		e.Cluster.Servers[0].Compute(p, 1e8) // one core-second
+		e.Cluster.Driver.Send(p, e.Cluster.Executors[1], 5e5)
+	})
+	r := e.Report()
+	if r.ExecutorSentMB < 2 || r.ServerRecvMB < 2 {
+		t.Fatalf("executor->server traffic missing: %+v", r)
+	}
+	if r.ServerCoreSec < 0.99 || r.ServerCoreSec > 1.01 {
+		t.Fatalf("server core-seconds = %v, want ~1", r.ServerCoreSec)
+	}
+	if r.DriverSentMB < 0.5 {
+		t.Fatalf("driver egress missing: %+v", r)
+	}
+	if r.Events == 0 {
+		t.Fatal("no events recorded")
+	}
+	if len(r.String()) == 0 {
+		t.Fatal("empty report string")
+	}
+}

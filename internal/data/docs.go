@@ -1,0 +1,153 @@
+package data
+
+import (
+	"fmt"
+
+	"repro/internal/linalg"
+)
+
+// Document is a bag-of-words document: word IDs with multiplicity expanded
+// (one entry per token), the layout collapsed Gibbs sampling wants.
+type Document struct {
+	Words []int32
+}
+
+// CorpusConfig describes a synthetic topic-modelled corpus in the mould of
+// PubMED / APP: documents are drawn from an LDA generative process with
+// TrueTopics topics, so a Gibbs sampler has real structure to recover and its
+// log-likelihood curve is meaningful.
+type CorpusConfig struct {
+	Docs        int
+	Vocab       int
+	MeanDocLen  int
+	TrueTopics  int
+	Concentrate float64 // how peaked each topic's word distribution is
+	Seed        uint64
+}
+
+// PubMEDLike is the scaled stand-in for PubMED (8.2M docs, 141K vocab).
+func PubMEDLike() CorpusConfig {
+	return CorpusConfig{Docs: 4000, Vocab: 20000, MeanDocLen: 80, TrueTopics: 40, Concentrate: 0.05, Seed: 0x9ed}
+}
+
+// AppLike is the scaled stand-in for Tencent's APP corpus (2.3B docs, 558K
+// vocab) — bigger than PubMEDLike in every dimension to exercise the
+// "only PS2 can handle it" experiment.
+func AppLike() CorpusConfig {
+	return CorpusConfig{Docs: 16000, Vocab: 12000, MeanDocLen: 100, TrueTopics: 40, Concentrate: 0.05, Seed: 0xa99}
+}
+
+// Corpus is a generated document collection.
+type Corpus struct {
+	Config CorpusConfig
+	Docs   []Document
+	Tokens int64
+}
+
+// GenerateCorpus samples a corpus from the LDA generative process: per-topic
+// word distributions are Zipf-peaked over disjoint-ish vocabulary regions,
+// each document mixes a handful of topics.
+func GenerateCorpus(cfg CorpusConfig) (*Corpus, error) {
+	if cfg.Docs <= 0 || cfg.Vocab <= 0 || cfg.MeanDocLen <= 0 || cfg.TrueTopics <= 0 {
+		return nil, fmt.Errorf("data: invalid corpus config %+v", cfg)
+	}
+	rng := linalg.NewRNG(cfg.Seed)
+	// Each topic prefers a contiguous vocabulary region plus a uniform
+	// background; sampling a word mixes the two.
+	region := cfg.Vocab / cfg.TrueTopics
+	if region < 1 {
+		region = 1
+	}
+	c := &Corpus{Config: cfg, Docs: make([]Document, cfg.Docs)}
+	for d := 0; d < cfg.Docs; d++ {
+		// Pick 1-3 topics for the document.
+		nTopics := 1 + rng.Intn(3)
+		topics := make([]int, nTopics)
+		for i := range topics {
+			topics[i] = rng.Intn(cfg.TrueTopics)
+		}
+		docLen := cfg.MeanDocLen/2 + rng.Intn(cfg.MeanDocLen)
+		words := make([]int32, docLen)
+		for w := 0; w < docLen; w++ {
+			topic := topics[rng.Intn(nTopics)]
+			var word int
+			if rng.Float64() < cfg.Concentrate {
+				word = rng.Intn(cfg.Vocab) // background noise
+			} else {
+				word = topic*region + rng.Zipf(region, 1.05)
+				if word >= cfg.Vocab {
+					word = cfg.Vocab - 1
+				}
+			}
+			words[w] = int32(word)
+		}
+		c.Docs[d] = Document{Words: words}
+		c.Tokens += int64(docLen)
+	}
+	return c, nil
+}
+
+// PartitionDocs splits documents round-robin into n partitions.
+func PartitionDocs(docs []Document, n int) [][]Document {
+	if n < 1 {
+		n = 1
+	}
+	out := make([][]Document, n)
+	for i, d := range docs {
+		out[i%n] = append(out[i%n], d)
+	}
+	return out
+}
+
+// TabularConfig describes a dense-ish numeric dataset for GBDT in the mould
+// of Tencent's Gender dataset (122M rows × 330 cols). The regression target
+// is a nonlinear function of the features so trees have splits to find.
+type TabularConfig struct {
+	Rows     int
+	Features int
+	Seed     uint64
+}
+
+// GenderLike is the scaled stand-in for the Gender dataset.
+func GenderLike() TabularConfig { return TabularConfig{Rows: 20000, Features: 330, Seed: 0x93d4} }
+
+// TabularDataset holds dense rows and binary-ish targets in [0,1].
+type TabularDataset struct {
+	Config TabularConfig
+	X      [][]float64
+	Y      []float64
+}
+
+// GenerateTabular samples features uniform in [0,1) and a target built from
+// threshold interactions plus noise — the kind of signal boosted trees excel
+// at and linear models cannot express.
+func GenerateTabular(cfg TabularConfig) (*TabularDataset, error) {
+	if cfg.Rows <= 0 || cfg.Features < 4 {
+		return nil, fmt.Errorf("data: invalid tabular config %+v", cfg)
+	}
+	rng := linalg.NewRNG(cfg.Seed)
+	ds := &TabularDataset{Config: cfg, X: make([][]float64, cfg.Rows), Y: make([]float64, cfg.Rows)}
+	for r := 0; r < cfg.Rows; r++ {
+		row := make([]float64, cfg.Features)
+		for f := range row {
+			row[f] = rng.Float64()
+		}
+		ds.X[r] = row
+		score := 0.0
+		if row[0] > 0.5 {
+			score += 1.2
+		}
+		if row[1] > 0.3 && row[2] < 0.7 {
+			score += 0.9
+		}
+		if row[3] > 0.8 {
+			score -= 1.5
+		}
+		score += 0.4*row[4] - 0.2
+		score += rng.NormFloat64() * 0.2
+		if linalg.Sigmoid(score) > 0.5 {
+			ds.Y[r] = 1
+		}
+	}
+	return ds, nil
+}

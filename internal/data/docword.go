@@ -1,0 +1,115 @@
+package data
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ReadDocword parses the UCI "bag of words" format used by the public topic
+// modelling corpora (PubMED among them — the paper's LDA dataset):
+//
+//	D
+//	W
+//	NNZ
+//	docID wordID count
+//	...
+//
+// IDs are 1-based in the format and returned 0-based. Returns the documents
+// (token-expanded) and the vocabulary size W.
+func ReadDocword(r io.Reader) ([]Document, int, error) {
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 1024*1024), 64*1024*1024)
+	readInt := func(what string) (int, error) {
+		for scanner.Scan() {
+			line := strings.TrimSpace(scanner.Text())
+			if line == "" {
+				continue
+			}
+			v, err := strconv.Atoi(line)
+			if err != nil {
+				return 0, fmt.Errorf("data: docword header %s: %w", what, err)
+			}
+			return v, nil
+		}
+		return 0, fmt.Errorf("data: docword missing %s header", what)
+	}
+	d, err := readInt("D")
+	if err != nil {
+		return nil, 0, err
+	}
+	w, err := readInt("W")
+	if err != nil {
+		return nil, 0, err
+	}
+	if _, err := readInt("NNZ"); err != nil {
+		return nil, 0, err
+	}
+	if d < 0 || w <= 0 {
+		return nil, 0, fmt.Errorf("data: docword implausible header D=%d W=%d", d, w)
+	}
+	docs := make([]Document, d)
+	lineNo := 3
+	for scanner.Scan() {
+		lineNo++
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			return nil, 0, fmt.Errorf("data: docword line %d: want 3 fields, got %d", lineNo, len(fields))
+		}
+		doc, err1 := strconv.Atoi(fields[0])
+		word, err2 := strconv.Atoi(fields[1])
+		count, err3 := strconv.Atoi(fields[2])
+		if err1 != nil || err2 != nil || err3 != nil {
+			return nil, 0, fmt.Errorf("data: docword line %d: bad integers", lineNo)
+		}
+		if doc < 1 || doc > d || word < 1 || word > w || count < 1 {
+			return nil, 0, fmt.Errorf("data: docword line %d: out of range (doc=%d word=%d count=%d)", lineNo, doc, word, count)
+		}
+		for i := 0; i < count; i++ {
+			docs[doc-1].Words = append(docs[doc-1].Words, int32(word-1))
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, 0, err
+	}
+	return docs, w, nil
+}
+
+// WriteDocword writes documents in the UCI bag-of-words format.
+func WriteDocword(w io.Writer, docs []Document, vocab int) error {
+	bw := bufio.NewWriter(w)
+	nnz := 0
+	counts := make([]map[int32]int, len(docs))
+	for d, doc := range docs {
+		m := map[int32]int{}
+		for _, word := range doc.Words {
+			m[word]++
+		}
+		counts[d] = m
+		nnz += len(m)
+	}
+	if _, err := fmt.Fprintf(bw, "%d\n%d\n%d\n", len(docs), vocab, nnz); err != nil {
+		return err
+	}
+	for d, m := range counts {
+		// Deterministic output: ascending word ids.
+		words := make([]int, 0, len(m))
+		for word := range m {
+			words = append(words, int(word))
+		}
+		sort.Ints(words)
+		for _, word := range words {
+			if _, err := fmt.Fprintf(bw, "%d %d %d\n", d+1, word+1, m[int32(word)]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,68 @@
+package data
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadLIBSVM checks the LIBSVM parser never panics and that anything it
+// accepts round-trips through the writer.
+func FuzzReadLIBSVM(f *testing.F) {
+	f.Add("1 1:0.5 3:1.5\n-1 2:2.0\n")
+	f.Add("# comment\n\n0 7:1\n")
+	f.Add("+1 1:1e300\n")
+	f.Add("1 0:1\n")
+	f.Add("x")
+	f.Fuzz(func(t *testing.T, in string) {
+		insts, dim, err := ReadLIBSVM(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		for _, inst := range insts {
+			if inst.Label != 0 && inst.Label != 1 {
+				t.Fatalf("label %v not normalized", inst.Label)
+			}
+			for _, i := range inst.Features.Indices {
+				if i < 0 || i >= dim {
+					t.Fatalf("index %d outside inferred dim %d", i, dim)
+				}
+			}
+		}
+		var sb strings.Builder
+		if err := WriteLIBSVM(&sb, insts); err != nil {
+			t.Fatalf("write-back failed: %v", err)
+		}
+		back, _, err := ReadLIBSVM(strings.NewReader(sb.String()))
+		if err != nil {
+			t.Fatalf("round-trip re-read failed: %v", err)
+		}
+		if len(back) != len(insts) {
+			t.Fatalf("round trip lost rows: %d vs %d", len(back), len(insts))
+		}
+	})
+}
+
+// FuzzReadDocword checks the bag-of-words parser never panics and validates
+// its own invariants on accepted input.
+func FuzzReadDocword(f *testing.F) {
+	f.Add("2\n10\n2\n1 1 2\n2 10 1\n")
+	f.Add("0\n1\n0\n")
+	f.Add("1\n1\n1\n1 1 1000000\n")
+	f.Add("junk")
+	f.Fuzz(func(t *testing.T, in string) {
+		if len(in) > 1<<16 {
+			return // bound token-expansion work
+		}
+		docs, vocab, err := ReadDocword(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		for _, d := range docs {
+			for _, w := range d.Words {
+				if w < 0 || int(w) >= vocab {
+					t.Fatalf("word %d outside vocab %d", w, vocab)
+				}
+			}
+		}
+	})
+}

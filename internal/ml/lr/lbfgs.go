@@ -1,0 +1,166 @@
+package lr
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/dcv"
+	"repro/internal/linalg"
+	"repro/internal/rdd"
+	"repro/internal/simnet"
+)
+
+// LBFGSConfig configures the L-BFGS trainer (paper Section 5.2.4 lists
+// L-BFGS among the implemented optimizers). Unlike the SGD family it uses
+// full-batch gradients and keeps a curvature history of m (s, y) pairs, all
+// stored as co-located DCVs so the two-loop recursion runs as a sequence of
+// server-side dot/axpy operators with only scalars on the wire.
+type LBFGSConfig struct {
+	Iterations int
+	History    int     // m, the number of curvature pairs
+	StepSize   float64 // fixed step along the search direction
+	Seed       uint64
+}
+
+// DefaultLBFGSConfig returns a standard configuration.
+func DefaultLBFGSConfig() LBFGSConfig {
+	return LBFGSConfig{Iterations: 20, History: 5, StepSize: 0.5, Seed: 42}
+}
+
+// TrainLBFGS minimizes the logistic loss with L-BFGS on PS2.
+func TrainLBFGS(p *simnet.Proc, e *core.Engine, dataset *rdd.RDD[data.Instance], dim int, cfg LBFGSConfig) (*Model, error) {
+	if cfg.Iterations <= 0 || cfg.History <= 0 {
+		return nil, fmt.Errorf("lr: invalid L-BFGS config %+v", cfg)
+	}
+	m := cfg.History
+	// Rows: w, grad, prevW, prevG, q, m×s, m×y.
+	w, err := e.DCV.Dense(p, dim, 5+2*m)
+	if err != nil {
+		return nil, err
+	}
+	driver := e.Driver()
+	grad := w.MustDerive().Fill(p, driver, 0)
+	prevW := w.MustDerive().Fill(p, driver, 0)
+	prevG := w.MustDerive().Fill(p, driver, 0)
+	q := w.MustDerive().Fill(p, driver, 0)
+	sHist := make([]*dcv.Vector, m)
+	yHist := make([]*dcv.Vector, m)
+	for i := 0; i < m; i++ {
+		sHist[i] = w.MustDerive().Fill(p, driver, 0)
+		yHist[i] = w.MustDerive().Fill(p, driver, 0)
+	}
+	rho := make([]float64, m)
+	alpha := make([]float64, m)
+	pairs := 0 // number of valid history pairs
+	next := 0  // ring-buffer position
+
+	trace := &core.Trace{Name: "PS2-LBFGS"}
+	cost := e.Cluster.Cost
+	total := 0
+
+	fullGradient := func() float64 {
+		grad.Zero(p, driver)
+		stats := rdd.RunPartitions(p, dataset, 24, func(tc *rdd.TaskContext, part int, rows []data.Instance) batchStat {
+			if len(rows) == 0 {
+				return batchStat{}
+			}
+			idx := DistinctIndices(rows)
+			vals := w.PullIndices(tc.P, tc.Node, idx)
+			local := make(map[int]float64, len(idx))
+			for k, i := range idx {
+				local[i] = vals[k]
+			}
+			g, lossSum := BatchGradient(Logistic, rows, func(i int) float64 { return local[i] })
+			tc.Charge(cost.GradWork(TotalNnz(rows)))
+			tc.Commit()
+			gi := make([]int, 0, len(g))
+			for i := range g {
+				gi = append(gi, i)
+			}
+			sort.Ints(gi)
+			gv := make([]float64, len(gi))
+			for k, i := range gi {
+				gv[k] = g[i]
+			}
+			sv, _ := linalg.NewSparse(gi, gv)
+			grad.Add(tc.P, tc.Node, sv)
+			return batchStat{Loss: lossSum, Count: len(rows)}
+		})
+		var lossSum float64
+		total = 0
+		for _, st := range stats {
+			lossSum += st.Loss
+			total += st.Count
+		}
+		if total > 0 {
+			grad.Scale(p, driver, 1/float64(total))
+			return lossSum / float64(total)
+		}
+		return 0
+	}
+
+	dot := func(a, b *dcv.Vector) float64 {
+		v, err := a.Dot(p, driver, b)
+		if err != nil {
+			panic(err)
+		}
+		return v
+	}
+	must := func(err error) {
+		if err != nil {
+			panic(err)
+		}
+	}
+
+	for it := 0; it < cfg.Iterations; it++ {
+		loss := fullGradient()
+		trace.Add(p.Now(), loss)
+		if it > 0 {
+			// Record curvature pair: s = w - prevW, y = grad - prevG.
+			slot := next
+			next = (next + 1) % m
+			if pairs < m {
+				pairs++
+			}
+			must(sHist[slot].CopyFrom(p, driver, w))
+			must(sHist[slot].SubVec(p, driver, prevW))
+			must(yHist[slot].CopyFrom(p, driver, grad))
+			must(yHist[slot].SubVec(p, driver, prevG))
+			sy := dot(sHist[slot], yHist[slot])
+			if sy <= 1e-12 {
+				// Skip non-curvature pairs (can happen with fixed steps).
+				pairs--
+				next = slot
+			} else {
+				rho[slot] = 1 / sy
+			}
+		}
+		must(prevW.CopyFrom(p, driver, w))
+		must(prevG.CopyFrom(p, driver, grad))
+
+		// Two-loop recursion over co-located DCVs.
+		must(q.CopyFrom(p, driver, grad))
+		for k := 0; k < pairs; k++ {
+			i := (next - 1 - k + 2*m) % m
+			alpha[i] = rho[i] * dot(sHist[i], q)
+			must(q.Axpy(p, driver, -alpha[i], yHist[i]))
+		}
+		if pairs > 0 {
+			newest := (next - 1 + m) % m
+			yy := dot(yHist[newest], yHist[newest])
+			if yy > 1e-12 {
+				q.Scale(p, driver, 1/(rho[newest]*yy))
+			}
+		}
+		for k := pairs - 1; k >= 0; k-- {
+			i := (next - 1 - k + 2*m) % m
+			beta := rho[i] * dot(yHist[i], q)
+			must(q.Axpy(p, driver, alpha[i]-beta, sHist[i]))
+		}
+		// Descend along -q with a fixed step.
+		must(w.Axpy(p, driver, -cfg.StepSize, q))
+	}
+	return &Model{Weights: w, Trace: trace}, nil
+}

@@ -1,0 +1,374 @@
+package ps
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/linalg"
+	"repro/internal/simnet"
+)
+
+// This file implements the PS-client: the executor-side stub that routes row
+// accesses and server-side invocations to the right servers. Since the whole
+// system lives in one simulated process space, "the client" is the set of
+// methods on Matrix that take the calling process and its machine; the
+// routing table is the matrix's partitioner, fetched from the master at
+// matrix creation.
+
+// PullRow fetches one full row from all servers in parallel and assembles it
+// at the caller. Every server ships its [lo,hi) stretch of the row, so the
+// transfer parallelizes over servers — the "multiple servers replace the
+// single-node driver" effect.
+func (mat *Matrix) PullRow(p *simnet.Proc, from *simnet.Node, row int) []float64 {
+	mat.checkRow(row)
+	cost := mat.master.Cl.Cost
+	out := make([]float64, mat.Dim)
+	g := p.Sim().NewGroup()
+	for s := 0; s < mat.Part.Servers; s++ {
+		s := s
+		g.Go("pull", func(cp *simnet.Proc) {
+			sh := mat.shardOn(s)
+			from.Send(cp, mat.srv(s).Node, cost.RequestOverheadB)
+			mat.srv(s).Node.Send(cp, from, cost.DenseBytes(sh.Hi-sh.Lo))
+			copy(out[sh.Lo:sh.Hi], sh.Rows[row])
+		})
+	}
+	g.Wait(p)
+	return out
+}
+
+// PullRowCompressed fetches a full row but ships only the stored nonzeros of
+// each shard as (index, value) pairs — the transfer a sparse server-side
+// representation would cost. Used by sparse DCVs.
+func (mat *Matrix) PullRowCompressed(p *simnet.Proc, from *simnet.Node, row int) []float64 {
+	mat.checkRow(row)
+	cost := mat.master.Cl.Cost
+	out := make([]float64, mat.Dim)
+	g := p.Sim().NewGroup()
+	for s := 0; s < mat.Part.Servers; s++ {
+		s := s
+		g.Go("pull-compressed", func(cp *simnet.Proc) {
+			sh := mat.shardOn(s)
+			srv := mat.srv(s).Node
+			from.Send(cp, srv, cost.RequestOverheadB)
+			nnz := linalg.NnzDense(sh.Rows[row])
+			srv.Compute(cp, cost.ElemWork(sh.Hi-sh.Lo))
+			srv.Send(cp, from, cost.SparseBytes(nnz))
+			for c, val := range sh.Rows[row] {
+				out[sh.Lo+c] = val
+			}
+		})
+	}
+	g.Wait(p)
+	return out
+}
+
+// ServerNode returns the machine hosting logical shard s (exported for the
+// DCV layer's shuffle path and for tests).
+func (mat *Matrix) ServerNode(s int) *simnet.Node { return mat.srv(s).Node }
+
+// ShardOf returns the shard data for logical shard s. It is exported for the
+// DCV layer, which implements server-side computation directly against shard
+// memory; ordinary clients should use the pull/push operators.
+func (mat *Matrix) ShardOf(s int) *Shard { return mat.shardOn(s) }
+
+// PullRowIndices fetches only the given (strictly increasing) columns of a
+// row — sparse pull, the optimization the paper credits for PS2's advantage
+// over Petuum ("PS2 supports sparse communication and only pulls the needed
+// model parameters"). Returns values aligned with indices.
+func (mat *Matrix) PullRowIndices(p *simnet.Proc, from *simnet.Node, row int, indices []int) []float64 {
+	mat.checkRow(row)
+	cost := mat.master.Cl.Cost
+	out := make([]float64, len(indices))
+	split := mat.Part.SplitIndices(indices)
+	g := p.Sim().NewGroup()
+	offset := 0
+	for s := 0; s < mat.Part.Servers; s++ {
+		idx := split[s]
+		if len(idx) == 0 {
+			continue
+		}
+		s, off := s, offset
+		offset += len(idx)
+		g.Go("pull-sparse", func(cp *simnet.Proc) {
+			sh := mat.shardOn(s)
+			srv := mat.srv(s).Node
+			// Request carries the indices; response carries the values.
+			from.Send(cp, srv, cost.RequestOverheadB+4*float64(len(idx)))
+			srv.Send(cp, from, cost.RequestOverheadB+8*float64(len(idx)))
+			for k, col := range idx {
+				out[off+k] = sh.Rows[row][col-sh.Lo]
+			}
+		})
+	}
+	g.Wait(p)
+	return out
+}
+
+// PushAdd adds a sparse delta into a row, splitting the update across the
+// owning servers. This is the DCV `add` operator used as the gradient push in
+// the paper's Figure 3 (line 18); it is also the pull/push-only baselines'
+// push primitive.
+func (mat *Matrix) PushAdd(p *simnet.Proc, from *simnet.Node, row int, delta *linalg.SparseVector) {
+	mat.checkRow(row)
+	cost := mat.master.Cl.Cost
+	split := mat.Part.SplitIndices(delta.Indices)
+	g := p.Sim().NewGroup()
+	offset := 0
+	for s := 0; s < mat.Part.Servers; s++ {
+		idx := split[s]
+		if len(idx) == 0 {
+			continue
+		}
+		s, off := s, offset
+		offset += len(idx)
+		g.Go("push", func(cp *simnet.Proc) {
+			sh := mat.shardOn(s)
+			srv := mat.srv(s).Node
+			from.Send(cp, srv, cost.SparseBytes(len(idx)))
+			srv.Compute(cp, cost.ElemWork(len(idx)))
+			for k, col := range idx {
+				sh.Rows[row][col-sh.Lo] += delta.Values[off+k]
+			}
+			srv.Send(cp, from, cost.RequestOverheadB) // ack
+		})
+	}
+	g.Wait(p)
+}
+
+// PushAddDense adds a dense delta into a row, shipping each server its full
+// column range.
+func (mat *Matrix) PushAddDense(p *simnet.Proc, from *simnet.Node, row int, delta []float64) {
+	mat.checkRow(row)
+	if len(delta) != mat.Dim {
+		panic(fmt.Sprintf("ps: PushAddDense got %d values for dim %d", len(delta), mat.Dim))
+	}
+	cost := mat.master.Cl.Cost
+	g := p.Sim().NewGroup()
+	for s := 0; s < mat.Part.Servers; s++ {
+		s := s
+		g.Go("push-dense", func(cp *simnet.Proc) {
+			sh := mat.shardOn(s)
+			srv := mat.srv(s).Node
+			from.Send(cp, srv, cost.DenseBytes(sh.Hi-sh.Lo))
+			srv.Compute(cp, cost.ElemWork(sh.Hi-sh.Lo))
+			for c := sh.Lo; c < sh.Hi; c++ {
+				sh.Rows[row][c-sh.Lo] += delta[c]
+			}
+			srv.Send(cp, from, cost.RequestOverheadB) // ack
+		})
+	}
+	g.Wait(p)
+}
+
+// SetRow overwrites a row (used to initialize models).
+func (mat *Matrix) SetRow(p *simnet.Proc, from *simnet.Node, row int, values []float64) {
+	mat.checkRow(row)
+	if len(values) != mat.Dim {
+		panic(fmt.Sprintf("ps: SetRow got %d values for dim %d", len(values), mat.Dim))
+	}
+	cost := mat.master.Cl.Cost
+	g := p.Sim().NewGroup()
+	for s := 0; s < mat.Part.Servers; s++ {
+		s := s
+		g.Go("set-row", func(cp *simnet.Proc) {
+			sh := mat.shardOn(s)
+			srv := mat.srv(s).Node
+			from.Send(cp, srv, cost.DenseBytes(sh.Hi-sh.Lo))
+			copy(sh.Rows[row], values[sh.Lo:sh.Hi])
+			srv.Send(cp, from, cost.RequestOverheadB)
+		})
+	}
+	g.Wait(p)
+}
+
+// PullRowRange fetches the columns [lo, hi) of one row, touching only the
+// servers whose shards overlap the range. It is how a pull/push-only client
+// partitions a model update across workers: worker i pulls and rewrites its
+// slice of every model vector.
+func (mat *Matrix) PullRowRange(p *simnet.Proc, from *simnet.Node, row, lo, hi int) []float64 {
+	mat.checkRow(row)
+	if lo < 0 || hi > mat.Dim || lo > hi {
+		panic(fmt.Sprintf("ps: PullRowRange [%d,%d) out of [0,%d)", lo, hi, mat.Dim))
+	}
+	cost := mat.master.Cl.Cost
+	out := make([]float64, hi-lo)
+	g := p.Sim().NewGroup()
+	for s := 0; s < mat.Part.Servers; s++ {
+		sLo, sHi := mat.Part.Range(s)
+		oLo, oHi := max(lo, sLo), min(hi, sHi)
+		if oLo >= oHi {
+			continue
+		}
+		s := s
+		g.Go("pull-range", func(cp *simnet.Proc) {
+			sh := mat.shardOn(s)
+			srv := mat.srv(s).Node
+			from.Send(cp, srv, cost.RequestOverheadB)
+			srv.Send(cp, from, cost.DenseBytes(oHi-oLo))
+			copy(out[oLo-lo:oHi-lo], sh.Rows[row][oLo-sh.Lo:oHi-sh.Lo])
+		})
+	}
+	g.Wait(p)
+	return out
+}
+
+// SetRowRange overwrites columns [lo, hi) of one row, the mirror of
+// PullRowRange.
+func (mat *Matrix) SetRowRange(p *simnet.Proc, from *simnet.Node, row, lo, hi int, values []float64) {
+	mat.checkRow(row)
+	if len(values) != hi-lo || lo < 0 || hi > mat.Dim || lo > hi {
+		panic(fmt.Sprintf("ps: SetRowRange got %d values for [%d,%d) of dim %d", len(values), lo, hi, mat.Dim))
+	}
+	cost := mat.master.Cl.Cost
+	g := p.Sim().NewGroup()
+	for s := 0; s < mat.Part.Servers; s++ {
+		sLo, sHi := mat.Part.Range(s)
+		oLo, oHi := max(lo, sLo), min(hi, sHi)
+		if oLo >= oHi {
+			continue
+		}
+		s := s
+		g.Go("set-range", func(cp *simnet.Proc) {
+			sh := mat.shardOn(s)
+			srv := mat.srv(s).Node
+			from.Send(cp, srv, cost.DenseBytes(oHi-oLo))
+			copy(sh.Rows[row][oLo-sh.Lo:oHi-sh.Lo], values[oLo-lo:oHi-lo])
+			srv.Send(cp, from, cost.RequestOverheadB)
+		})
+	}
+	g.Wait(p)
+}
+
+// PullRows fetches several whole rows in one batched request per server —
+// the access pattern of embedding workloads, where a worker needs the vectors
+// of one center vertex and its sampled contexts together. Returns one dense
+// vector per requested row.
+func (mat *Matrix) PullRows(p *simnet.Proc, from *simnet.Node, rows []int) [][]float64 {
+	for _, r := range rows {
+		mat.checkRow(r)
+	}
+	cost := mat.master.Cl.Cost
+	out := make([][]float64, len(rows))
+	for i := range out {
+		out[i] = make([]float64, mat.Dim)
+	}
+	g := p.Sim().NewGroup()
+	for s := 0; s < mat.Part.Servers; s++ {
+		s := s
+		g.Go("pull-rows", func(cp *simnet.Proc) {
+			sh := mat.shardOn(s)
+			srv := mat.srv(s).Node
+			width := sh.Hi - sh.Lo
+			from.Send(cp, srv, cost.RequestOverheadB+4*float64(len(rows)))
+			srv.Send(cp, from, cost.RequestOverheadB+8*float64(len(rows)*width))
+			for i, r := range rows {
+				copy(out[i][sh.Lo:sh.Hi], sh.Rows[r])
+			}
+		})
+	}
+	g.Wait(p)
+	return out
+}
+
+// PushRowsDelta adds one dense delta per row in one batched request per
+// server — the mirror of PullRows.
+func (mat *Matrix) PushRowsDelta(p *simnet.Proc, from *simnet.Node, rows []int, deltas [][]float64) {
+	if len(rows) != len(deltas) {
+		panic(fmt.Sprintf("ps: PushRowsDelta got %d rows, %d deltas", len(rows), len(deltas)))
+	}
+	for i, r := range rows {
+		mat.checkRow(r)
+		if len(deltas[i]) != mat.Dim {
+			panic(fmt.Sprintf("ps: PushRowsDelta delta %d has %d values for dim %d", i, len(deltas[i]), mat.Dim))
+		}
+	}
+	cost := mat.master.Cl.Cost
+	g := p.Sim().NewGroup()
+	for s := 0; s < mat.Part.Servers; s++ {
+		s := s
+		g.Go("push-rows", func(cp *simnet.Proc) {
+			sh := mat.shardOn(s)
+			srv := mat.srv(s).Node
+			width := sh.Hi - sh.Lo
+			from.Send(cp, srv, cost.RequestOverheadB+4*float64(len(rows))+8*float64(len(rows)*width))
+			srv.Compute(cp, cost.ElemWork(len(rows)*width))
+			for i, r := range rows {
+				row := sh.Rows[r]
+				d := deltas[i]
+				for c := sh.Lo; c < sh.Hi; c++ {
+					row[c-sh.Lo] += d[c]
+				}
+			}
+			srv.Send(cp, from, cost.RequestOverheadB)
+		})
+	}
+	g.Wait(p)
+}
+
+// Invoke runs fn against every server's shard in parallel: the caller sends
+// reqBytes to each server, the server charges work(width) compute, fn mutates
+// or reads the shard and returns a partial scalar, and the server replies
+// with respBytes. The returned slice holds each server's partial. This is
+// the transport under every DCV column-access operator.
+func (mat *Matrix) Invoke(p *simnet.Proc, from *simnet.Node, reqBytes, respBytes float64,
+	work func(width int) float64, fn func(s int, sh *Shard) float64) []float64 {
+	cost := mat.master.Cl.Cost
+	partials := make([]float64, mat.Part.Servers)
+	g := p.Sim().NewGroup()
+	for s := 0; s < mat.Part.Servers; s++ {
+		s := s
+		g.Go("invoke", func(cp *simnet.Proc) {
+			sh := mat.shardOn(s)
+			srv := mat.srv(s).Node
+			from.Send(cp, srv, cost.RequestOverheadB+reqBytes)
+			if work != nil {
+				srv.Compute(cp, work(sh.Hi-sh.Lo))
+			}
+			partials[s] = fn(s, sh)
+			srv.Send(cp, from, cost.RequestOverheadB+respBytes)
+		})
+	}
+	g.Wait(p)
+	return partials
+}
+
+// RowSum returns the sum of a row, computed server-side with only scalars on
+// the wire.
+func (mat *Matrix) RowSum(p *simnet.Proc, from *simnet.Node, row int) float64 {
+	mat.checkRow(row)
+	cost := mat.master.Cl.Cost
+	partials := mat.Invoke(p, from, 8, 8,
+		func(w int) float64 { return cost.ElemWork(w) },
+		func(_ int, sh *Shard) float64 { return linalg.Sum(sh.Rows[row]) })
+	return linalg.Sum(partials)
+}
+
+// RowNnz returns the number of nonzero entries of a row, server-side.
+func (mat *Matrix) RowNnz(p *simnet.Proc, from *simnet.Node, row int) int {
+	mat.checkRow(row)
+	cost := mat.master.Cl.Cost
+	partials := mat.Invoke(p, from, 8, 8,
+		func(w int) float64 { return cost.ElemWork(w) },
+		func(_ int, sh *Shard) float64 { return float64(linalg.NnzDense(sh.Rows[row])) })
+	return int(linalg.Sum(partials))
+}
+
+// RowNorm2 returns the Euclidean norm of a row, server-side.
+func (mat *Matrix) RowNorm2(p *simnet.Proc, from *simnet.Node, row int) float64 {
+	mat.checkRow(row)
+	cost := mat.master.Cl.Cost
+	partials := mat.Invoke(p, from, 8, 8,
+		func(w int) float64 { return cost.ElemWork(w) },
+		func(_ int, sh *Shard) float64 {
+			n := linalg.Norm2(sh.Rows[row])
+			return n * n
+		})
+	return math.Sqrt(linalg.Sum(partials))
+}
+
+func (mat *Matrix) checkRow(row int) {
+	if row < 0 || row >= mat.Rows {
+		panic(fmt.Sprintf("ps: row %d out of range [0,%d) for matrix %d", row, mat.Rows, mat.ID))
+	}
+}

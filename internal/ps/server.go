@@ -1,0 +1,239 @@
+package ps
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/simnet"
+)
+
+// Shard is one server's slice of a matrix: all rows, columns [Lo, Hi).
+type Shard struct {
+	Lo, Hi int
+	Rows   [][]float64 // Rows[r][c-Lo] stores element (r, c)
+}
+
+func newShard(rows, lo, hi int) *Shard {
+	sh := &Shard{Lo: lo, Hi: hi, Rows: make([][]float64, rows)}
+	for r := range sh.Rows {
+		sh.Rows[r] = make([]float64, hi-lo)
+	}
+	return sh
+}
+
+// clone deep-copies a shard (used by checkpointing).
+func (sh *Shard) clone() *Shard {
+	c := &Shard{Lo: sh.Lo, Hi: sh.Hi, Rows: make([][]float64, len(sh.Rows))}
+	for r := range sh.Rows {
+		c.Rows[r] = append([]float64(nil), sh.Rows[r]...)
+	}
+	return c
+}
+
+// bytes returns the checkpoint wire size of the shard.
+func (sh *Shard) bytes(cost cluster.CostModel) float64 {
+	return cost.DenseBytes(len(sh.Rows) * (sh.Hi - sh.Lo))
+}
+
+// Server is one PS-server: a machine plus the matrix shards it stores.
+type Server struct {
+	Index  int
+	Node   *simnet.Node
+	shards map[int]*Shard
+	alive  bool
+}
+
+// Master is the PS-master living inside the coordinator: it owns matrix
+// metadata (routing tables) and the lifetime of servers, and drives
+// checkpoint/recovery. In the paper this module is part of the driver.
+type Master struct {
+	Cl       *cluster.Cluster
+	servers  []*Server
+	matrices map[int]*Matrix
+	nextID   int
+
+	// checkpoints[matrixID][serverIndex] is the latest snapshot stored on
+	// the reliable store node.
+	checkpoints map[int][]*Shard
+}
+
+// NewMaster starts a PS application over every server machine in cl.
+func NewMaster(cl *cluster.Cluster) *Master {
+	m := &Master{
+		Cl:          cl,
+		matrices:    map[int]*Matrix{},
+		checkpoints: map[int][]*Shard{},
+	}
+	for i, node := range cl.Servers {
+		m.servers = append(m.servers, &Server{Index: i, Node: node, shards: map[int]*Shard{}, alive: true})
+	}
+	return m
+}
+
+// NumServers returns the number of PS-servers.
+func (m *Master) NumServers() int { return len(m.servers) }
+
+// Server returns server i (exported for tests and failure experiments).
+func (m *Master) Server(i int) *Server { return m.servers[i] }
+
+// Matrix is a dense matrix of shape Rows × Dim, column-partitioned over all
+// servers. It is the raw storage behind DCVs: dcv.Dense allocates a matrix
+// with k rows and dcv.Derive hands out its free rows, which is how derived
+// vectors share one partitioner and stay dimension co-located.
+type Matrix struct {
+	ID   int
+	Rows int
+	Dim  int
+	Part *Partitioner
+	// Offset rotates the placement of logical shards onto physical servers:
+	// logical shard s lives on server (s+Offset) mod P. The master assigns a
+	// fresh offset to every independently created matrix (load balancing),
+	// which is why two independently allocated DCVs of the same dimension do
+	// NOT have their columns on the same machines — the paper's Figure 4
+	// "inefficient writing". Rows of one matrix share the offset, giving
+	// derived DCVs their co-location guarantee.
+	Offset int
+	master *Master
+}
+
+// srv returns the physical server holding logical shard s.
+func (mat *Matrix) srv(s int) *Server {
+	return mat.master.servers[(s+mat.Offset)%len(mat.master.servers)]
+}
+
+// CreateMatrix allocates a rows×dim matrix across all servers. The calling
+// coordinator process pays one metadata RPC per server.
+func (m *Master) CreateMatrix(p *simnet.Proc, rows, dim int) (*Matrix, error) {
+	if rows <= 0 {
+		return nil, fmt.Errorf("ps: CreateMatrix rows must be positive, got %d", rows)
+	}
+	pt, err := NewPartitioner(dim, len(m.servers))
+	if err != nil {
+		return nil, err
+	}
+	m.nextID++
+	mat := &Matrix{ID: m.nextID, Rows: rows, Dim: dim, Part: pt, Offset: (m.nextID - 1) % len(m.servers), master: m}
+	g := p.Sim().NewGroup()
+	for s := 0; s < len(m.servers); s++ {
+		s := s
+		srv := mat.srv(s)
+		g.Go("create-shard", func(cp *simnet.Proc) {
+			lo, hi := pt.Range(s)
+			m.Cl.Driver.Send(cp, srv.Node, m.Cl.Cost.RequestOverheadB)
+			srv.shards[mat.ID] = newShard(rows, lo, hi)
+			srv.Node.Send(cp, m.Cl.Driver, m.Cl.Cost.RequestOverheadB)
+		})
+	}
+	g.Wait(p)
+	m.matrices[mat.ID] = mat
+	return mat, nil
+}
+
+// shardOn returns matrix mat's shard for logical shard index s, panicking if
+// the hosting server lost its state (tests exercise recovery before further
+// access).
+func (mat *Matrix) shardOn(s int) *Shard {
+	srv := mat.srv(s)
+	sh, ok := srv.shards[mat.ID]
+	if !ok {
+		panic(fmt.Sprintf("ps: server %d has no shard for matrix %d (failed and not recovered?)", srv.Index, mat.ID))
+	}
+	return sh
+}
+
+// Checkpoint writes a snapshot of every server's shard of mat to the
+// reliable store. The coordinator blocks until all servers finish; each
+// server streams its shard bytes to the store node in parallel.
+func (m *Master) Checkpoint(p *simnet.Proc, mat *Matrix) {
+	snaps := make([]*Shard, len(m.servers))
+	g := p.Sim().NewGroup()
+	for s := 0; s < len(m.servers); s++ {
+		s := s
+		g.Go("checkpoint", func(cp *simnet.Proc) {
+			sh := mat.shardOn(s)
+			mat.srv(s).Node.Send(cp, m.Cl.Store, sh.bytes(m.Cl.Cost))
+			snaps[s] = sh.clone()
+		})
+	}
+	g.Wait(p)
+	m.checkpoints[mat.ID] = snaps
+}
+
+// KillServer simulates the crash of server s: all its shards are lost.
+func (m *Master) KillServer(s int) {
+	srv := m.servers[s]
+	srv.alive = false
+	srv.shards = map[int]*Shard{}
+}
+
+// RecoverServer starts a replacement for server s and restores every
+// checkpointed matrix shard from the store. Matrices without a checkpoint
+// are reallocated as zeros (their state since the last checkpoint is lost,
+// exactly as in the paper's server-failure model).
+func (m *Master) RecoverServer(p *simnet.Proc, s int) {
+	srv := m.servers[s]
+	g := p.Sim().NewGroup()
+	for id, mat := range m.matrices {
+		id, mat := id, mat
+		// The logical shard that physical server s hosts for this matrix.
+		logical := (s - mat.Offset + len(m.servers)) % len(m.servers)
+		g.Go("recover", func(cp *simnet.Proc) {
+			if snaps, ok := m.checkpoints[id]; ok && snaps[logical] != nil {
+				m.Cl.Store.Send(cp, srv.Node, snaps[logical].bytes(m.Cl.Cost))
+				srv.shards[id] = snaps[logical].clone()
+				return
+			}
+			lo, hi := mat.Part.Range(logical)
+			srv.shards[id] = newShard(mat.Rows, lo, hi)
+		})
+	}
+	g.Wait(p)
+	srv.alive = true
+}
+
+// Alive reports whether server s holds live state.
+func (m *Master) Alive(s int) bool { return m.servers[s].alive }
+
+// ReleaseMatrix frees a matrix's shards on every server (one metadata RPC
+// each) and drops its checkpoints. Training jobs that allocate scratch
+// matrices (async LR, DistML-style baselines) use it to return server memory.
+func (m *Master) ReleaseMatrix(p *simnet.Proc, mat *Matrix) {
+	g := p.Sim().NewGroup()
+	for s := 0; s < len(m.servers); s++ {
+		srv := mat.srv(s)
+		g.Go("release-shard", func(cp *simnet.Proc) {
+			m.Cl.Driver.Send(cp, srv.Node, m.Cl.Cost.RequestOverheadB)
+			delete(srv.shards, mat.ID)
+			srv.Node.Send(cp, m.Cl.Driver, m.Cl.Cost.RequestOverheadB)
+		})
+	}
+	g.Wait(p)
+	delete(m.matrices, mat.ID)
+	delete(m.checkpoints, mat.ID)
+}
+
+// ServerStats summarizes one server's storage load.
+type ServerStats struct {
+	Server    int
+	Shards    int
+	Elements  int64
+	Bytes     float64
+	BytesSent float64
+	BytesRecv float64
+}
+
+// Stats returns per-server storage and traffic statistics — the view the
+// coordinator's monitoring page would show.
+func (m *Master) Stats() []ServerStats {
+	out := make([]ServerStats, len(m.servers))
+	for i, srv := range m.servers {
+		st := ServerStats{Server: i, BytesSent: srv.Node.BytesSent, BytesRecv: srv.Node.BytesRecv}
+		for _, sh := range srv.shards {
+			st.Shards++
+			st.Elements += int64(len(sh.Rows) * (sh.Hi - sh.Lo))
+		}
+		st.Bytes = float64(st.Elements) * 8
+		out[i] = st
+	}
+	return out
+}

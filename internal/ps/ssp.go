@@ -1,0 +1,87 @@
+package ps
+
+import (
+	"fmt"
+
+	"repro/internal/simnet"
+)
+
+// SSPClock implements the Stale Synchronous Parallel consistency model
+// (Petuum's signature protocol) on the coordinator: every worker owns a
+// clock it ticks after each iteration, and a worker about to start iteration
+// t blocks until every other worker has reached at least t - staleness.
+// staleness 0 degenerates to BSP lockstep; a large bound approaches fully
+// asynchronous execution. PS2's paper runs BSP (Spark stages are barriers);
+// the SSP extension quantifies what bounded staleness buys under stragglers
+// (experiment ext-ssp).
+type SSPClock struct {
+	sim     *simnet.Sim
+	clocks  []int
+	waiters []*sspWaiter
+}
+
+type sspWaiter struct {
+	target int
+	sig    *simnet.Signal
+}
+
+// NewSSPClock creates a clock table for n workers, all at clock 0.
+func NewSSPClock(sim *simnet.Sim, n int) *SSPClock {
+	if n < 1 {
+		panic("ps: SSPClock needs at least one worker")
+	}
+	return &SSPClock{sim: sim, clocks: make([]int, n)}
+}
+
+// Clock returns worker w's current clock.
+func (c *SSPClock) Clock(w int) int { return c.clocks[w] }
+
+// Workers returns the number of tracked workers.
+func (c *SSPClock) Workers() int { return len(c.clocks) }
+
+// MinClock returns the slowest worker's clock.
+func (c *SSPClock) MinClock() int {
+	min := c.clocks[0]
+	for _, v := range c.clocks[1:] {
+		if v < min {
+			min = v
+		}
+	}
+	return min
+}
+
+// Tick advances worker w's clock by one and wakes any waiter whose bound is
+// now satisfied.
+func (c *SSPClock) Tick(w int) {
+	c.clocks[w]++
+	min := c.MinClock()
+	kept := c.waiters[:0]
+	for _, wt := range c.waiters {
+		if wt.target <= min {
+			wt.sig.Fire()
+			continue
+		}
+		kept = append(kept, wt)
+	}
+	c.waiters = kept
+}
+
+// WaitUntilMin blocks the calling process until MinClock() >= target.
+func (c *SSPClock) WaitUntilMin(p *simnet.Proc, target int) {
+	if c.MinClock() >= target {
+		return
+	}
+	wt := &sspWaiter{target: target, sig: c.sim.NewSignal()}
+	c.waiters = append(c.waiters, wt)
+	wt.sig.Wait(p)
+}
+
+// WaitTurn is the SSP admission check for worker w about to run iteration
+// iter (0-based): it blocks until no worker is more than staleness clocks
+// behind. Negative staleness panics; staleness 0 is BSP.
+func (c *SSPClock) WaitTurn(p *simnet.Proc, w, iter, staleness int) {
+	if staleness < 0 {
+		panic(fmt.Sprintf("ps: negative staleness %d", staleness))
+	}
+	c.WaitUntilMin(p, iter-staleness)
+}

@@ -1,0 +1,246 @@
+// Package rdd is a from-scratch miniature of Spark's execution model, built
+// on the simnet kernel: one driver process schedules parallel tasks over
+// partitioned, immutable, lazily-computed datasets that live on executor
+// machines. It reproduces the properties of Spark that the PS2 paper depends
+// on — driver-side aggregation (the "single-node bottleneck"), broadcast from
+// the driver, global barriers after each stage, lineage-based recomputation
+// after executor loss, and task retry after transient failures — without any
+// of Spark's code.
+//
+// The package is deliberately small: it implements exactly the surface MLlib
+// -style training loops and PS2 jobs need (sources, map/filter/sample,
+// mapPartitions, cache, aggregate/collect/count/foreachPartition, broadcast).
+package rdd
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/linalg"
+	"repro/internal/simnet"
+)
+
+// Context owns scheduling state for one application: the cluster it runs on,
+// failure-injection knobs, and the registry of cached datasets (so executor
+// loss can invalidate their partitions).
+type Context struct {
+	Cl *cluster.Cluster
+
+	// FailProb is the probability that any single task attempt fails at its
+	// commit point (used by the Fig 13(c) fault-tolerance experiment).
+	FailProb float64
+	// MaxAttempts bounds retries per task before the job is aborted.
+	MaxAttempts int
+
+	rng         *linalg.RNG
+	nextID      int
+	invalidator []func(executor int)
+
+	// TasksLaunched and TaskFailures count scheduling activity for tests and
+	// experiment reports.
+	TasksLaunched int
+	TaskFailures  int
+}
+
+// NewContext creates an application context on cl with failure injection off.
+func NewContext(cl *cluster.Cluster) *Context {
+	return &Context{Cl: cl, MaxAttempts: 4, rng: linalg.NewRNG(0x5eed)}
+}
+
+// Seed reseeds the scheduler's failure-injection RNG.
+func (c *Context) Seed(seed uint64) { c.rng = linalg.NewRNG(seed) }
+
+// NumExecutors returns the number of executor machines.
+func (c *Context) NumExecutors() int { return len(c.Cl.Executors) }
+
+// Owner returns the executor machine that hosts partition part.
+func (c *Context) Owner(part int) *simnet.Node {
+	return c.Cl.Executors[part%len(c.Cl.Executors)]
+}
+
+// KillExecutor simulates the loss of executor i: every cached partition it
+// hosted is dropped, so the next access recomputes it from lineage, exactly
+// like Spark reloading a lost partition from stable input.
+func (c *Context) KillExecutor(i int) {
+	for _, inv := range c.invalidator {
+		inv(i)
+	}
+}
+
+// RDD is a partitioned, immutable, lazily-evaluated dataset of T.
+type RDD[T any] struct {
+	ctx     *Context
+	id      int
+	parts   int
+	compute func(tc *TaskContext, part int) []T
+
+	cache bool
+	data  [][]T
+	valid []bool
+}
+
+func newRDD[T any](ctx *Context, parts int, compute func(tc *TaskContext, part int) []T) *RDD[T] {
+	ctx.nextID++
+	return &RDD[T]{ctx: ctx, id: ctx.nextID, parts: parts, compute: compute}
+}
+
+// Partitions returns the number of partitions.
+func (r *RDD[T]) Partitions() int { return r.parts }
+
+// Context returns the owning application context.
+func (r *RDD[T]) Context() *Context { return r.ctx }
+
+// Cache marks the dataset to be kept in executor memory after first
+// materialization. Returns r for chaining.
+func (r *RDD[T]) Cache() *RDD[T] {
+	if r.cache {
+		return r
+	}
+	r.cache = true
+	r.data = make([][]T, r.parts)
+	r.valid = make([]bool, r.parts)
+	r.ctx.invalidator = append(r.ctx.invalidator, func(executor int) {
+		for part := 0; part < r.parts; part++ {
+			if part%len(r.ctx.Cl.Executors) == executor {
+				r.valid[part] = false
+				r.data[part] = nil
+			}
+		}
+	})
+	return r
+}
+
+// materialize produces the rows of one partition, reusing the cache when
+// valid and recomputing from lineage otherwise.
+func (r *RDD[T]) materialize(tc *TaskContext, part int) []T {
+	if r.cache && r.valid[part] {
+		return r.data[part]
+	}
+	rows := r.compute(tc, part)
+	if r.cache {
+		r.data[part] = rows
+		r.valid[part] = true
+	}
+	return rows
+}
+
+// Source creates a base dataset whose partitions are produced by gen, which
+// stands in for stable input storage (HDFS in the paper). gen must be
+// deterministic in part and should charge load cost through tc.
+func Source[T any](ctx *Context, parts int, gen func(tc *TaskContext, part int) []T) *RDD[T] {
+	if parts < 1 {
+		parts = 1
+	}
+	return newRDD(ctx, parts, gen)
+}
+
+// FromSlices creates a base dataset from in-memory partitions (test helper
+// and small-example convenience; charges no load cost).
+func FromSlices[T any](ctx *Context, parts [][]T) *RDD[T] {
+	copied := make([][]T, len(parts))
+	for i := range parts {
+		copied[i] = append([]T(nil), parts[i]...)
+	}
+	return Source(ctx, len(copied), func(_ *TaskContext, part int) []T {
+		return copied[part]
+	})
+}
+
+// Map applies f to every element. Narrow dependency; no shuffle.
+func Map[T, U any](r *RDD[T], f func(T) U) *RDD[U] {
+	return newRDD(r.ctx, r.parts, func(tc *TaskContext, part int) []U {
+		in := r.materialize(tc, part)
+		out := make([]U, len(in))
+		for i, v := range in {
+			out[i] = f(v)
+		}
+		return out
+	})
+}
+
+// MapPartitions applies f to each whole partition. f may charge compute cost
+// through tc.
+func MapPartitions[T, U any](r *RDD[T], f func(tc *TaskContext, part int, in []T) []U) *RDD[U] {
+	return newRDD(r.ctx, r.parts, func(tc *TaskContext, part int) []U {
+		return f(tc, part, r.materialize(tc, part))
+	})
+}
+
+// Filter keeps the elements for which pred is true.
+func (r *RDD[T]) Filter(pred func(T) bool) *RDD[T] {
+	return newRDD(r.ctx, r.parts, func(tc *TaskContext, part int) []T {
+		in := r.materialize(tc, part)
+		out := make([]T, 0, len(in))
+		for _, v := range in {
+			if pred(v) {
+				out = append(out, v)
+			}
+		}
+		return out
+	})
+}
+
+// Sample takes a Bernoulli sample of the dataset with the given fraction.
+// The draw is deterministic in (seed, partition), so different seeds give
+// different mini-batches while reruns of a failed task resample identically —
+// the same guarantee Spark's sampled RDDs provide.
+func (r *RDD[T]) Sample(fraction float64, seed uint64) *RDD[T] {
+	if fraction >= 1 {
+		return r
+	}
+	return newRDD(r.ctx, r.parts, func(tc *TaskContext, part int) []T {
+		in := r.materialize(tc, part)
+		rng := linalg.NewRNG(seed*1_000_003 + uint64(part))
+		out := make([]T, 0, int(float64(len(in))*fraction)+1)
+		for _, v := range in {
+			if rng.Float64() < fraction {
+				out = append(out, v)
+			}
+		}
+		return out
+	})
+}
+
+// Union concatenates two datasets partition-wise if they have the same
+// partition count, otherwise appends partitions.
+func Union[T any](a, b *RDD[T]) *RDD[T] {
+	if a.ctx != b.ctx {
+		panic("rdd: Union across contexts")
+	}
+	if a.parts == b.parts {
+		return newRDD(a.ctx, a.parts, func(tc *TaskContext, part int) []T {
+			out := append([]T(nil), a.materialize(tc, part)...)
+			return append(out, b.materialize(tc, part)...)
+		})
+	}
+	total := a.parts + b.parts
+	return newRDD(a.ctx, total, func(tc *TaskContext, part int) []T {
+		if part < a.parts {
+			return a.materialize(tc, part)
+		}
+		return b.materialize(tc, part-a.parts)
+	})
+}
+
+func (c *Context) String() string {
+	return fmt.Sprintf("rdd.Context{executors: %d, failProb: %g}", c.NumExecutors(), c.FailProb)
+}
+
+// Coalesce returns a dataset with n partitions by concatenating groups of
+// the parent's partitions (no shuffle; partition i of the result holds the
+// parent partitions congruent to i mod n). Useful after heavy filtering.
+func (r *RDD[T]) Coalesce(n int) *RDD[T] {
+	if n < 1 {
+		n = 1
+	}
+	if n >= r.parts {
+		return r
+	}
+	return newRDD(r.ctx, n, func(tc *TaskContext, part int) []T {
+		var out []T
+		for src := part; src < r.parts; src += n {
+			out = append(out, r.materialize(tc, src)...)
+		}
+		return out
+	})
+}

@@ -1,0 +1,277 @@
+package rdd
+
+import (
+	"sort"
+
+	"repro/internal/simnet"
+)
+
+// This file adds the wide (shuffle) operators and tree aggregation. PS2
+// itself needs only narrow transformations plus driver actions, but the data
+// preprocessing the paper motivates (building training data from graphs,
+// texts and logs) leans on shuffles, and tree aggregation is the classic
+// mitigation for MLlib's driver bottleneck that the MLlib* follow-up paper
+// (the paper's reference [34]) builds on — reproduced here as an extension
+// baseline.
+
+// FlatMap applies f to every element and concatenates the results.
+func FlatMap[T, U any](r *RDD[T], f func(T) []U) *RDD[U] {
+	return newRDD(r.ctx, r.parts, func(tc *TaskContext, part int) []U {
+		in := r.materialize(tc, part)
+		var out []U
+		for _, v := range in {
+			out = append(out, f(v)...)
+		}
+		return out
+	})
+}
+
+// Pair is a keyed record for shuffle operators.
+type Pair[K comparable, V any] struct {
+	Key   K
+	Value V
+}
+
+// ReduceByKey groups the dataset by key and reduces each group with combine.
+// It performs a real shuffle: every map-side partition sends each reduce
+// partition its share of the data (all-to-all executor traffic, charged at
+// bytesPerRecord per record), then reduce tasks combine locally. The result
+// has numParts partitions, keyed by hash.
+func ReduceByKey[K comparable, V any](p *simnet.Proc, r *RDD[Pair[K, V]], numParts int,
+	bytesPerRecord float64, hash func(K) int, combine func(a, b V) V) *RDD[Pair[K, V]] {
+	ctx := r.ctx
+	if numParts < 1 {
+		numParts = ctx.NumExecutors()
+	}
+	// Map side: combine locally per key (map-side combining, as Spark does),
+	// then bucket records by reduce partition.
+	buckets := make([]map[K]V, numParts)
+	for i := range buckets {
+		buckets[i] = map[K]V{}
+	}
+	type counts struct{ perBucket []int }
+	sent := runTasks(p, r, func(c counts) float64 { return 8 * float64(len(c.perBucket)) },
+		func(tc *TaskContext, part int, rows []Pair[K, V]) counts {
+			local := map[K]V{}
+			for _, kv := range rows {
+				if old, ok := local[kv.Key]; ok {
+					local[kv.Key] = combine(old, kv.Value)
+				} else {
+					local[kv.Key] = kv.Value
+				}
+			}
+			tc.Charge(tc.Ctx.Cl.Cost.ElemWork(len(rows)))
+			tc.Commit()
+			c := counts{perBucket: make([]int, numParts)}
+			for k, v := range local {
+				b := ((hash(k) % numParts) + numParts) % numParts
+				if old, ok := buckets[b][k]; ok {
+					buckets[b][k] = combine(old, v)
+				} else {
+					buckets[b][k] = v
+				}
+				c.perBucket[b]++
+			}
+			return c
+		})
+	// Shuffle: map partition i ships its bucket shares to each reduce
+	// partition's owner executor.
+	g := p.Sim().NewGroup()
+	for mapPart := range sent {
+		src := ctx.Owner(mapPart)
+		for b, n := range sent[mapPart].perBucket {
+			if n == 0 {
+				continue
+			}
+			dst := ctx.Owner(b)
+			n := n
+			g.Go("shuffle", func(sp *simnet.Proc) {
+				src.Send(sp, dst, ctx.Cl.Cost.RequestOverheadB+float64(n)*bytesPerRecord)
+			})
+		}
+	}
+	g.Wait(p)
+	// Reduce side: deterministic ordering of the combined buckets.
+	out := make([][]Pair[K, V], numParts)
+	return Source(ctx, numParts, func(tc *TaskContext, part int) []Pair[K, V] {
+		if out[part] == nil {
+			rows := make([]Pair[K, V], 0, len(buckets[part]))
+			for k, v := range buckets[part] {
+				rows = append(rows, Pair[K, V]{Key: k, Value: v})
+			}
+			sort.Slice(rows, func(a, b int) bool {
+				return lessAny(rows[a].Key, rows[b].Key)
+			})
+			tc.Charge(tc.Ctx.Cl.Cost.ElemWork(len(rows)))
+			out[part] = rows
+		}
+		return out[part]
+	})
+}
+
+// lessAny gives a deterministic (not semantically meaningful) order over
+// comparable keys for reproducible reduce output.
+func lessAny[K comparable](a, b K) bool {
+	switch av := any(a).(type) {
+	case int:
+		return av < any(b).(int)
+	case int32:
+		return av < any(b).(int32)
+	case int64:
+		return av < any(b).(int64)
+	case string:
+		return av < any(b).(string)
+	case float64:
+		return av < any(b).(float64)
+	default:
+		return false
+	}
+}
+
+// TreeAggregate folds the dataset like Aggregate but combines partials in a
+// binary tree across the executors instead of funnelling everything into the
+// driver: with P partials only ~log2(P) sequential rounds happen, and each
+// round's transfers run executor-to-executor in parallel. This is Spark's
+// treeAggregate, the standard mitigation for the driver bottleneck — PS2's
+// evaluation compares against plain aggregation because that is what MLlib's
+// regression path used, but the extension experiment `ext-treeagg` shows how
+// far tree aggregation alone gets.
+func TreeAggregate[T, U any](p *simnet.Proc, r *RDD[T], spec AggSpec[T, U]) U {
+	partials := runTasks(p, r, func(U) float64 { return 8 }, func(tc *TaskContext, part int, rows []T) U {
+		acc := spec.Zero()
+		for _, row := range rows {
+			acc = spec.Seq(tc, acc, row)
+		}
+		tc.Commit()
+		return acc
+	})
+	ctx := r.ctx
+	// Holders: partial i currently lives on executor owner(i).
+	alive := make([]int, len(partials))
+	for i := range alive {
+		alive[i] = i
+	}
+	for len(alive) > 1 {
+		var next []int
+		g := p.Sim().NewGroup()
+		for i := 0; i+1 < len(alive); i += 2 {
+			dst, src := alive[i], alive[i+1]
+			next = append(next, dst)
+			g.Go("tree-combine", func(cp *simnet.Proc) {
+				ctx.Owner(src).Send(cp, ctx.Owner(dst), spec.Bytes(partials[dst]))
+				ctx.Owner(dst).Compute(cp, spec.CombWork)
+				partials[dst] = spec.Comb(partials[dst], partials[src])
+			})
+		}
+		if len(alive)%2 == 1 {
+			next = append(next, alive[len(alive)-1])
+		}
+		g.Wait(p)
+		alive = next
+	}
+	// Final partial to the driver.
+	root := alive[0]
+	g := p.Sim().NewGroup()
+	g.Go("tree-final", func(cp *simnet.Proc) {
+		ctx.Owner(root).Send(cp, ctx.Cl.Driver, spec.Bytes(partials[root]))
+	})
+	g.Wait(p)
+	return partials[root]
+}
+
+// Distinct returns the dataset's distinct elements via a ReduceByKey
+// shuffle, exactly how Spark implements it: every element is keyed by itself
+// and duplicates collapse map-side and reduce-side. bytesPerRecord is the
+// element's wire size; hash routes elements to reduce partitions.
+func Distinct[T comparable](p *simnet.Proc, r *RDD[T], numParts int,
+	bytesPerRecord float64, hash func(T) int) *RDD[T] {
+	keyed := Map(r, func(v T) Pair[T, struct{}] { return Pair[T, struct{}]{Key: v} })
+	reduced := ReduceByKey(p, keyed, numParts, bytesPerRecord, hash,
+		func(a, b struct{}) struct{} { return a })
+	return Map(reduced, func(kv Pair[T, struct{}]) T { return kv.Key })
+}
+
+// JoinedRow is one inner-join result.
+type JoinedRow[K comparable, V, W any] struct {
+	Key   K
+	Left  V
+	Right W
+}
+
+// Join computes the inner join of two keyed datasets with a full shuffle of
+// both sides: each dataset's records are bucketed by hash onto numParts
+// reduce partitions, transferred executor-to-executor, and matched there.
+// Keys must be unique within each side (pre-reduce with ReduceByKey when
+// they are not).
+func Join[K comparable, V, W any](p *simnet.Proc, a *RDD[Pair[K, V]], b *RDD[Pair[K, W]],
+	numParts int, bytesPerRecord float64, hash func(K) int) *RDD[JoinedRow[K, V, W]] {
+	ctx := a.ctx
+	if numParts < 1 {
+		numParts = ctx.NumExecutors()
+	}
+	bucketOf := func(k K) int { return ((hash(k) % numParts) + numParts) % numParts }
+
+	left := make([]map[K]V, numParts)
+	right := make([]map[K]W, numParts)
+	for i := 0; i < numParts; i++ {
+		left[i] = map[K]V{}
+		right[i] = map[K]W{}
+	}
+	shuffleSide := func(counts [][]int) {
+		g := p.Sim().NewGroup()
+		for mapPart := range counts {
+			src := ctx.Owner(mapPart)
+			for bucket, n := range counts[mapPart] {
+				if n == 0 {
+					continue
+				}
+				dst := ctx.Owner(bucket)
+				n := n
+				g.Go("join-shuffle", func(sp *simnet.Proc) {
+					src.Send(sp, dst, ctx.Cl.Cost.RequestOverheadB+float64(n)*bytesPerRecord)
+				})
+			}
+		}
+		g.Wait(p)
+	}
+	countsA := runTasks(p, a, func(c []int) float64 { return 8 * float64(len(c)) },
+		func(tc *TaskContext, part int, rows []Pair[K, V]) []int {
+			tc.Commit()
+			c := make([]int, numParts)
+			for _, kv := range rows {
+				bkt := bucketOf(kv.Key)
+				left[bkt][kv.Key] = kv.Value
+				c[bkt]++
+			}
+			return c
+		})
+	shuffleSide(countsA)
+	countsB := runTasks(p, b, func(c []int) float64 { return 8 * float64(len(c)) },
+		func(tc *TaskContext, part int, rows []Pair[K, W]) []int {
+			tc.Commit()
+			c := make([]int, numParts)
+			for _, kv := range rows {
+				bkt := bucketOf(kv.Key)
+				right[bkt][kv.Key] = kv.Value
+				c[bkt]++
+			}
+			return c
+		})
+	shuffleSide(countsB)
+
+	out := make([][]JoinedRow[K, V, W], numParts)
+	return Source(ctx, numParts, func(tc *TaskContext, part int) []JoinedRow[K, V, W] {
+		if out[part] == nil {
+			rows := make([]JoinedRow[K, V, W], 0)
+			for k, v := range left[part] {
+				if w, ok := right[part][k]; ok {
+					rows = append(rows, JoinedRow[K, V, W]{Key: k, Left: v, Right: w})
+				}
+			}
+			sort.Slice(rows, func(x, y int) bool { return lessAny(rows[x].Key, rows[y].Key) })
+			tc.Charge(tc.Ctx.Cl.Cost.ElemWork(len(left[part]) + len(right[part])))
+			out[part] = rows
+		}
+		return out[part]
+	})
+}

@@ -1,0 +1,121 @@
+package simnet
+
+// Node models one machine's network interface. Outgoing transfers serialize
+// on the node's egress NIC and incoming transfers on its ingress NIC, each at
+// a fixed bandwidth. This store-and-forward model is what produces the
+// "single-node driver" in-cast bottleneck the PS2 paper measures: when W
+// workers each send S bytes to one driver, the driver's ingress NIC services
+// them one after another (total ~ W*S/bw), whereas spreading the same bytes
+// over P parameter servers services them in parallel (total ~ W*S/(P*bw)).
+type Node struct {
+	ID      int
+	Name    string
+	sim     *Sim
+	out     *Resource
+	in      *Resource
+	outBW   float64 // bytes per second
+	inBW    float64 // bytes per second
+	latency Time    // one-way propagation delay in seconds
+
+	// CPU serializes local computation charged via Compute. Capacity equals
+	// the number of cores.
+	cpu  *Resource
+	rate float64 // abstract work units per second per core
+
+	// Counters for observability; virtual bytes, not host bytes.
+	BytesSent float64
+	BytesRecv float64
+	WorkDone  float64
+}
+
+// NodeConfig describes a machine.
+type NodeConfig struct {
+	Name         string
+	BandwidthBps float64 // NIC bandwidth in bytes/sec (both directions)
+	LatencySec   Time    // one-way network latency
+	Cores        int     // CPU cores
+	WorkRate     float64 // work units per second per core
+}
+
+// DefaultNodeConfig mirrors the paper's testbed in spirit: 10 Gbps Ethernet
+// (~1.25 GB/s), 0.1 ms latency, 12 cores.
+func DefaultNodeConfig() NodeConfig {
+	return NodeConfig{
+		BandwidthBps: 1.25e9,
+		LatencySec:   1e-4,
+		Cores:        12,
+		WorkRate:     1e9,
+	}
+}
+
+// NewNode creates a machine attached to the simulation.
+func (s *Sim) NewNode(id int, cfg NodeConfig) *Node {
+	if cfg.BandwidthBps <= 0 {
+		cfg.BandwidthBps = 1.25e9
+	}
+	if cfg.Cores < 1 {
+		cfg.Cores = 1
+	}
+	if cfg.WorkRate <= 0 {
+		cfg.WorkRate = 1e9
+	}
+	return &Node{
+		ID:      id,
+		Name:    cfg.Name,
+		sim:     s,
+		out:     s.NewResource(1),
+		in:      s.NewResource(1),
+		outBW:   cfg.BandwidthBps,
+		inBW:    cfg.BandwidthBps,
+		latency: cfg.LatencySec,
+		cpu:     s.NewResource(cfg.Cores),
+		rate:    cfg.WorkRate,
+	}
+}
+
+// Send transfers bytes from n to dst, blocking the calling process for the
+// full transfer time: serialization on n's egress NIC, propagation latency,
+// then serialization on dst's ingress NIC.
+func (n *Node) Send(p *Proc, dst *Node, bytes float64) {
+	if bytes < 0 {
+		bytes = 0
+	}
+	n.BytesSent += bytes
+	dst.BytesRecv += bytes
+	if n == dst {
+		// Local delivery costs nothing on the network.
+		p.Sleep(0)
+		return
+	}
+	n.out.Use(p, bytes/n.outBW)
+	p.Sleep(n.latency)
+	dst.in.Use(p, bytes/dst.inBW)
+}
+
+// Compute charges `work` abstract units against one of the node's cores,
+// blocking the calling process for work/rate seconds once a core is free.
+func (n *Node) Compute(p *Proc, work float64) {
+	if work <= 0 {
+		return
+	}
+	n.WorkDone += work
+	n.cpu.Use(p, work/n.rate)
+}
+
+// Latency returns the node's configured one-way latency.
+func (n *Node) Latency() Time { return n.latency }
+
+// SlowDown divides the node's compute rate by factor — straggler injection.
+// Affects only Compute charges issued after the call.
+func (n *Node) SlowDown(factor float64) {
+	if factor <= 0 {
+		return
+	}
+	n.rate /= factor
+}
+
+// WorkRate returns the node's current per-core compute rate.
+func (n *Node) WorkRate() float64 { return n.rate }
+
+// Bandwidth returns the node's NIC bandwidth in bytes per second.
+func (n *Node) Bandwidth() float64 { return n.outBW }

@@ -1,0 +1,179 @@
+package simnet
+
+// Signal is a one-shot broadcast event: processes block on Wait until Fire is
+// called, after which Wait returns immediately forever.
+type Signal struct {
+	sim     *Sim
+	fired   bool
+	waiters []*Proc
+}
+
+// NewSignal creates an unfired signal.
+func (s *Sim) NewSignal() *Signal { return &Signal{sim: s} }
+
+// Fired reports whether the signal has been fired.
+func (g *Signal) Fired() bool { return g.fired }
+
+// Fire wakes all current and future waiters at the current virtual time.
+// Firing twice is a no-op. Fire may be called from any process or from
+// outside the simulation (before Run).
+func (g *Signal) Fire() { g.fire() }
+
+func (g *Signal) fire() {
+	if g.fired {
+		return
+	}
+	g.fired = true
+	for _, p := range g.waiters {
+		g.sim.schedule(g.sim.now, p)
+	}
+	g.waiters = nil
+}
+
+// Wait blocks the calling process until the signal fires.
+func (g *Signal) Wait(p *Proc) {
+	p.checkStopped()
+	if g.fired {
+		return
+	}
+	g.waiters = append(g.waiters, p)
+	p.yield()
+}
+
+// Resource is a counting semaphore with FIFO admission, used to model
+// serialization points such as NICs and CPU cores.
+type Resource struct {
+	sim      *Sim
+	capacity int
+	inUse    int
+	waiters  []*Proc
+}
+
+// NewResource creates a resource with the given capacity (>= 1).
+func (s *Sim) NewResource(capacity int) *Resource {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Resource{sim: s, capacity: capacity}
+}
+
+// Acquire blocks until one unit of the resource is available and takes it.
+// Units are granted in FIFO order.
+func (r *Resource) Acquire(p *Proc) {
+	p.checkStopped()
+	if r.inUse < r.capacity && len(r.waiters) == 0 {
+		r.inUse++
+		return
+	}
+	r.waiters = append(r.waiters, p)
+	p.yield()
+	// The releaser incremented inUse on our behalf before waking us.
+}
+
+// Release returns one unit. If processes are queued, the head of the queue is
+// granted the unit and woken at the current virtual time.
+func (r *Resource) Release() {
+	if r.sim.stopped {
+		return
+	}
+	r.inUse--
+	if r.inUse < 0 {
+		panic("simnet: Resource released more times than acquired")
+	}
+	if len(r.waiters) > 0 {
+		next := r.waiters[0]
+		r.waiters = r.waiters[1:]
+		r.inUse++
+		r.sim.schedule(r.sim.now, next)
+	}
+}
+
+// Use acquires the resource, sleeps for hold seconds, and releases it. It is
+// the common pattern for charging time against a serialized device.
+func (r *Resource) Use(p *Proc, hold Time) {
+	r.Acquire(p)
+	p.Sleep(hold)
+	r.Release()
+}
+
+// Mailbox is an unbounded FIFO message queue between processes. Put never
+// blocks; Get blocks until a message is available.
+type Mailbox struct {
+	sim     *Sim
+	queue   []any
+	waiters []*Proc
+}
+
+// NewMailbox creates an empty mailbox.
+func (s *Sim) NewMailbox() *Mailbox { return &Mailbox{sim: s} }
+
+// Len returns the number of queued messages.
+func (m *Mailbox) Len() int { return len(m.queue) }
+
+// Put enqueues a message and wakes the oldest waiting receiver, if any.
+func (m *Mailbox) Put(msg any) {
+	m.queue = append(m.queue, msg)
+	if len(m.waiters) > 0 {
+		p := m.waiters[0]
+		m.waiters = m.waiters[1:]
+		m.sim.schedule(m.sim.now, p)
+	}
+}
+
+// Get dequeues the oldest message, blocking until one is available.
+func (m *Mailbox) Get(p *Proc) any {
+	p.checkStopped()
+	for len(m.queue) == 0 {
+		m.waiters = append(m.waiters, p)
+		p.yield()
+	}
+	msg := m.queue[0]
+	m.queue[0] = nil
+	m.queue = m.queue[1:]
+	return msg
+}
+
+// TryGet dequeues the oldest message if one is available.
+func (m *Mailbox) TryGet() (any, bool) {
+	if len(m.queue) == 0 {
+		return nil, false
+	}
+	msg := m.queue[0]
+	m.queue[0] = nil
+	m.queue = m.queue[1:]
+	return msg, true
+}
+
+// Group runs a set of child processes and lets the parent wait for all of
+// them, mirroring sync.WaitGroup for simulated processes.
+type Group struct {
+	sim     *Sim
+	pending int
+	done    *Signal
+}
+
+// NewGroup creates an empty group.
+func (s *Sim) NewGroup() *Group { return &Group{sim: s, done: s.NewSignal()} }
+
+// Go spawns fn as a child process tracked by the group.
+func (g *Group) Go(name string, fn func(p *Proc)) {
+	g.pending++
+	g.sim.Spawn(name, func(p *Proc) {
+		defer func() {
+			g.pending--
+			if g.pending == 0 {
+				g.done.fire()
+			}
+		}()
+		fn(p)
+	})
+}
+
+// Wait blocks the calling process until every child spawned with Go has
+// finished. Waiting on an empty group returns immediately.
+func (g *Group) Wait(p *Proc) {
+	if g.pending == 0 {
+		return
+	}
+	g.done.Wait(p)
+}

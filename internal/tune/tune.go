@@ -1,0 +1,95 @@
+// Package tune provides a small hyperparameter-search harness over PS2
+// training runs: each trial gets a fresh simulated cluster, trains on a
+// train split, and is scored on a held-out split with distributed
+// evaluation. Because every run is deterministic, searches are exactly
+// reproducible.
+package tune
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/ml/lr"
+	"repro/internal/rdd"
+	"repro/internal/simnet"
+)
+
+// LRTrial is one candidate configuration.
+type LRTrial struct {
+	Name string
+	Cfg  lr.Config
+	// Opt builds a fresh optimizer for the trial (optimizers hold DCV state
+	// and must not be shared across engines).
+	Opt func() lr.Optimizer
+}
+
+// LRResult is one trial's outcome.
+type LRResult struct {
+	Name       string
+	ValLoss    float64
+	ValAcc     float64
+	SimSeconds float64
+	Err        error
+}
+
+// SearchLR runs every trial and returns the per-trial results plus the index
+// of the best (lowest validation loss among trials that succeeded; -1 when
+// none did).
+func SearchLR(opts core.Options, instances []data.Instance, dim int, valFraction float64, splitSeed uint64, trials []LRTrial) ([]LRResult, int) {
+	train, val := data.Split(instances, valFraction, splitSeed)
+	results := make([]LRResult, len(trials))
+	for i, trial := range trials {
+		results[i] = runLRTrial(opts, train, val, dim, trial)
+	}
+	best := -1
+	for i, r := range results {
+		if r.Err != nil || math.IsNaN(r.ValLoss) {
+			continue
+		}
+		if best < 0 || r.ValLoss < results[best].ValLoss {
+			best = i
+		}
+	}
+	return results, best
+}
+
+func runLRTrial(opts core.Options, train, val []data.Instance, dim int, trial LRTrial) LRResult {
+	res := LRResult{Name: trial.Name}
+	e := core.NewEngine(opts)
+	var opt lr.Optimizer
+	if trial.Opt != nil {
+		opt = trial.Opt()
+	}
+	res.SimSeconds = e.Run(func(p *simnet.Proc) {
+		trainRDD := rdd.FromSlices(e.RDD, data.Partition(train, e.RDD.NumExecutors())).Cache()
+		model, err := lr.Train(p, e, trainRDD, dim, trial.Cfg, opt)
+		if err != nil {
+			res.Err = fmt.Errorf("tune: trial %q: %w", trial.Name, err)
+			return
+		}
+		valRDD := rdd.FromSlices(e.RDD, data.Partition(val, e.RDD.NumExecutors()))
+		metrics := lr.EvalOnCluster(p, e, valRDD, trial.Cfg.Objective, model.Weights)
+		res.ValLoss = metrics.Loss
+		res.ValAcc = metrics.Accuracy
+	})
+	return res
+}
+
+// LearningRateGrid builds a standard set of trials varying only the learning
+// rate around a base configuration.
+func LearningRateGrid(base lr.Config, makeOpt func(eta float64) lr.Optimizer, etas []float64) []LRTrial {
+	trials := make([]LRTrial, len(etas))
+	for i, eta := range etas {
+		cfg := base
+		cfg.LearningRate = eta
+		eta := eta
+		trials[i] = LRTrial{
+			Name: fmt.Sprintf("eta=%g", eta),
+			Cfg:  cfg,
+			Opt:  func() lr.Optimizer { return makeOpt(eta) },
+		}
+	}
+	return trials
+}

@@ -1,0 +1,89 @@
+package tune
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/ml/lr"
+)
+
+func searchFixture(t *testing.T) ([]data.Instance, int, core.Options) {
+	t.Helper()
+	ds, err := data.GenerateClassify(data.ClassifyConfig{
+		Rows: 1500, Dim: 400, NnzPerRow: 10, Skew: 1.0, NoiseRate: 0.02, WeightNnz: 80, Seed: 21,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := core.DefaultOptions()
+	opts.Executors, opts.Servers = 4, 4
+	return ds.Instances, ds.Config.Dim, opts
+}
+
+func TestSearchLRPicksSaneLearningRate(t *testing.T) {
+	instances, dim, opts := searchFixture(t)
+	base := lr.DefaultConfig()
+	base.Iterations = 60
+	base.BatchFraction = 0.4
+	trials := LearningRateGrid(base, func(eta float64) lr.Optimizer {
+		s := lr.NewSGD()
+		s.LearningRate = eta
+		return s
+	}, []float64{1e-6, 0.5, 1e5})
+	results, best := SearchLR(opts, instances, dim, 0.25, 3, trials)
+	if len(results) != 3 {
+		t.Fatalf("results = %d", len(results))
+	}
+	if best != 1 {
+		for i, r := range results {
+			t.Logf("trial %d %s: loss=%v acc=%v err=%v", i, r.Name, r.ValLoss, r.ValAcc, r.Err)
+		}
+		t.Fatalf("best = %d, want the moderate learning rate (1)", best)
+	}
+	if results[best].ValAcc < 0.65 {
+		t.Fatalf("best trial accuracy %v", results[best].ValAcc)
+	}
+	// The absurd rates must be visibly worse (diverged or untrained).
+	if !(results[0].ValLoss > results[1].ValLoss) {
+		t.Fatalf("tiny eta (%v) not worse than moderate (%v)", results[0].ValLoss, results[1].ValLoss)
+	}
+	if !(results[2].ValLoss > results[1].ValLoss || math.IsNaN(results[2].ValLoss)) {
+		t.Fatalf("huge eta (%v) not worse than moderate (%v)", results[2].ValLoss, results[1].ValLoss)
+	}
+}
+
+func TestSearchLRDeterministic(t *testing.T) {
+	instances, dim, opts := searchFixture(t)
+	base := lr.DefaultConfig()
+	base.Iterations = 8
+	base.BatchFraction = 0.5
+	trials := LearningRateGrid(base, func(eta float64) lr.Optimizer {
+		s := lr.NewSGD()
+		s.LearningRate = eta
+		return s
+	}, []float64{0.1, 0.5})
+	a, bestA := SearchLR(opts, instances, dim, 0.2, 5, trials)
+	b, bestB := SearchLR(opts, instances, dim, 0.2, 5, trials)
+	if bestA != bestB {
+		t.Fatalf("best index differs: %d vs %d", bestA, bestB)
+	}
+	for i := range a {
+		if a[i].ValLoss != b[i].ValLoss || a[i].SimSeconds != b[i].SimSeconds {
+			t.Fatalf("trial %d not deterministic", i)
+		}
+	}
+}
+
+func TestSearchLRPropagatesErrors(t *testing.T) {
+	instances, dim, opts := searchFixture(t)
+	bad := lr.Config{} // zero iterations: Train must error
+	results, best := SearchLR(opts, instances, dim, 0.2, 5, []LRTrial{{Name: "bad", Cfg: bad}})
+	if results[0].Err == nil {
+		t.Fatal("invalid trial did not error")
+	}
+	if best != -1 {
+		t.Fatalf("best = %d, want -1 when all trials fail", best)
+	}
+}

@@ -1,0 +1,99 @@
+// Package ps2 is the public API of the PS2 reproduction: a parameter server
+// on a Spark-like dataflow engine, with the paper's Dimension Co-located
+// Vector (DCV) abstraction for server-side model management.
+//
+// A program creates an Engine (one simulated cluster running the dataflow
+// and parameter-server applications side by side), loads data into RDDs, and
+// trains models whose parameters live on the servers as DCVs:
+//
+//	e := ps2.NewEngine(ps2.DefaultOptions())
+//	e.Run(func(p *ps2.Proc) {
+//		dataset := ps2.LoadInstances(e, instances)
+//		model, err := ps2.TrainLogistic(p, e, dataset, dim, lr.DefaultConfig(), lr.NewAdam())
+//		...
+//	})
+//
+// The sub-packages mirror the paper's architecture and are where the full
+// surface lives:
+//
+//	internal/simnet    discrete-event simulation kernel (virtual cluster)
+//	internal/cluster   machine topology and cost model
+//	internal/rdd       the Spark-like dataflow engine
+//	internal/ps        parameter-server master/servers/client
+//	internal/dcv       the DCV abstraction (the paper's contribution)
+//	internal/ml/...    LR/SVM/L-BFGS, DeepWalk, GBDT, LDA on PS2
+//	internal/baselines MLlib, Petuum, Glint, DistML, XGBoost comparators
+//	internal/bench     one runner per table/figure of the evaluation
+package ps2
+
+import (
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/dcv"
+	"repro/internal/ml/embedding"
+	"repro/internal/ml/gbdt"
+	"repro/internal/ml/lda"
+	"repro/internal/ml/lr"
+	"repro/internal/rdd"
+	"repro/internal/simnet"
+)
+
+// Engine is one PS2 application instance: the simulated cluster plus the
+// dataflow context, the PS master and a DCV session.
+type Engine = core.Engine
+
+// Options configures the engine (cluster shape, cost model, failure
+// injection).
+type Options = core.Options
+
+// Proc is a process in the simulated cluster; training jobs run as the
+// driver process and receive it as their first argument.
+type Proc = simnet.Proc
+
+// Vector is a Dimension Co-located Vector: the paper's model abstraction.
+type Vector = dcv.Vector
+
+// Trace is a convergence curve (virtual time vs. metric).
+type Trace = core.Trace
+
+// Instance is one sparse labelled training example.
+type Instance = data.Instance
+
+// DefaultOptions mirrors the paper's standard setup: 20 executors and 20
+// parameter servers on a 10×-scaled network.
+func DefaultOptions() Options { return core.DefaultOptions() }
+
+// NewEngine boots a simulated cluster with the dataflow and parameter-server
+// applications.
+func NewEngine(opt Options) *Engine { return core.NewEngine(opt) }
+
+// LoadInstances partitions instances round-robin over the executors and
+// caches them, the standard way examples stage training data.
+func LoadInstances(e *Engine, instances []Instance) *rdd.RDD[Instance] {
+	return rdd.FromSlices(e.RDD, data.Partition(instances, e.RDD.NumExecutors())).Cache()
+}
+
+// TrainLogistic trains logistic regression (or a linear SVM via
+// cfg.Objective) on PS2 with the given optimizer — the paper's Figure 3 flow.
+func TrainLogistic(p *Proc, e *Engine, dataset *rdd.RDD[Instance], dim int, cfg lr.Config, opt lr.Optimizer) (*lr.Model, error) {
+	return lr.Train(p, e, dataset, dim, cfg, opt)
+}
+
+// TrainDeepWalk embeds a graph from skip-gram pairs — the paper's Figure 6
+// flow.
+func TrainDeepWalk(p *Proc, e *Engine, pairs *rdd.RDD[data.Pair], vertices int, cfg embedding.Config) (*embedding.Model, error) {
+	return embedding.Train(p, e, pairs, vertices, cfg)
+}
+
+// TrainGBDT boosts trees with PS-side histogram aggregation — the paper's
+// Figure 8 flow.
+func TrainGBDT(p *Proc, e *Engine, ds *data.TabularDataset, cfg gbdt.Config) (*gbdt.Model, error) {
+	r, edges := gbdt.PrepareRDD(p, e, ds, cfg)
+	return gbdt.Train(p, e, r, ds.Config.Features, edges, cfg)
+}
+
+// TrainLDA fits a topic model with collapsed Gibbs sampling, the topic-word
+// counts living on the parameter servers.
+func TrainLDA(p *Proc, e *Engine, docs *rdd.RDD[data.Document], vocab int, cfg lda.Config) (*lda.Model, error) {
+	return lda.Train(p, e, docs, vocab, cfg)
+}
