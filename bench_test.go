@@ -85,6 +85,8 @@ func BenchmarkExtMLlibStar(b *testing.B)     { runExperiment(b, "ext-mllibstar")
 func BenchmarkExtSSP(b *testing.B)           { runExperiment(b, "ext-ssp") }
 func BenchmarkExtFM(b *testing.B)            { runExperiment(b, "ext-fm") }
 func BenchmarkExtNode2vec(b *testing.B)      { runExperiment(b, "ext-node2vec") }
+func BenchmarkExtRecovery(b *testing.B)      { runExperiment(b, "ext-recovery") }
+func BenchmarkExtChaos(b *testing.B)         { runExperiment(b, "ext-chaos") }
 
 // --- Kernel micro-benchmarks (host performance of the hot paths) ---
 

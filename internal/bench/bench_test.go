@@ -132,6 +132,7 @@ func TestRegistryComplete(t *testing.T) {
 		"ablation-colocation", "ablation-sparsepull", "ablation-servers", "ablation-batching",
 		"ablation-checkpoint",
 		"ext-treeagg", "ext-mllibstar", "ext-ssp", "ext-fm", "ext-node2vec",
+		"ext-recovery", "ext-chaos",
 	}
 	for _, id := range want {
 		if _, ok := ByID(id); !ok {

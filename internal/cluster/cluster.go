@@ -82,6 +82,10 @@ type Cluster struct {
 	// parameter-server checkpoints are written to and recovered from.
 	Store *simnet.Node
 	Cost  CostModel
+
+	nodeCfg  simnet.NodeConfig // template, so replacements match the fleet
+	nextID   int
+	replaced map[int]int // server index -> replacement generation
 }
 
 // New creates a cluster inside sim.
@@ -95,13 +99,12 @@ func New(sim *simnet.Sim, cfg Config) *Cluster {
 	if cfg.Cost == (CostModel{}) {
 		cfg.Cost = DefaultCostModel()
 	}
-	c := &Cluster{Sim: sim, Cost: cfg.Cost}
-	id := 0
+	c := &Cluster{Sim: sim, Cost: cfg.Cost, nodeCfg: cfg.Node, replaced: map[int]int{}}
 	mk := func(name string) *simnet.Node {
 		nc := cfg.Node
 		nc.Name = name
-		n := sim.NewNode(id, nc)
-		id++
+		n := sim.NewNode(c.nextID, nc)
+		c.nextID++
 		return n
 	}
 	c.Driver = mk("driver")
@@ -113,6 +116,23 @@ func New(sim *simnet.Sim, cfg Config) *Cluster {
 	}
 	c.Store = mk("store")
 	return c
+}
+
+// ReplaceServer provisions a fresh machine to take over logical server slot i
+// after a crash: same hardware template, new node identity, zeroed counters.
+// The old node is left in place (down) so in-flight senders observe the crash;
+// callers fence it with Fail before swapping.
+func (c *Cluster) ReplaceServer(i int) *simnet.Node {
+	if i < 0 || i >= len(c.Servers) {
+		panic(fmt.Sprintf("cluster: ReplaceServer(%d) out of range", i))
+	}
+	c.replaced[i]++
+	nc := c.nodeCfg
+	nc.Name = fmt.Sprintf("server-%d.r%d", i, c.replaced[i])
+	n := c.Sim.NewNode(c.nextID, nc)
+	c.nextID++
+	c.Servers[i] = n
+	return n
 }
 
 // TotalBytesOnWire sums virtual bytes sent by every machine, a convenient

@@ -32,6 +32,48 @@ type Options struct {
 	TaskFailProb float64
 	// Seed seeds the scheduler's failure injection.
 	Seed uint64
+
+	// Faults schedules environment-injected failures (machine crashes at
+	// virtual times, message loss, extra delay). Setting it arms the chaos
+	// layer and, unless Detector overrides, the default heartbeat failure
+	// detector with automatic recovery.
+	Faults *FaultPlan
+
+	// Detector overrides the heartbeat failure detector. Zero value: the
+	// detector runs with defaults when Faults is set, and not at all
+	// otherwise. Set IntervalSec > 0 to force it on.
+	Detector ps.DetectorConfig
+
+	// RPC overrides the client retry policy (zero fields take defaults).
+	RPC ps.RetryConfig
+
+	// FullCheckpoints disables delta checkpointing, shipping full snapshots
+	// on every Checkpoint (the ablation arm of the recovery benchmark).
+	FullCheckpoints bool
+}
+
+// CrashEvent schedules the crash of one machine (by role-local index) at a
+// virtual time.
+type CrashEvent struct {
+	AtSec float64
+	Index int
+}
+
+// FaultPlan describes the environment's misbehaviour for a run: scheduled
+// PS-server and executor crashes, plus ambient per-message loss and delay.
+// Crashes land mid-simulation — in the middle of whatever RPCs are in
+// flight — and nothing in the job's code is told about them; detection and
+// recovery are the system's problem.
+type FaultPlan struct {
+	// Seed drives the chaos layer's loss/delay draws (0 picks a fixed seed).
+	Seed uint64
+	// LossProb is the probability that any single message is dropped.
+	LossProb float64
+	// ExtraDelaySec is the maximum uniform extra one-way delay per message.
+	ExtraDelaySec float64
+
+	ServerCrashes   []CrashEvent
+	ExecutorCrashes []CrashEvent
 }
 
 // DefaultOptions mirrors the paper's common setup: 20 executors, 20 servers.
@@ -53,6 +95,10 @@ type Engine struct {
 	RDD     *rdd.Context
 	PS      *ps.Master
 	DCV     *dcv.Session
+
+	faults   *FaultPlan
+	detector ps.DetectorConfig
+	monitor  bool
 }
 
 // NewEngine boots the cluster and both applications.
@@ -70,26 +116,80 @@ func NewEngine(opt Options) *Engine {
 		ctx.Seed(opt.Seed)
 	}
 	master := ps.NewMaster(cl)
+	if opt.RPC != (ps.RetryConfig{}) {
+		master.Retry = opt.RPC
+	}
+	master.DeltaCheckpoints = !opt.FullCheckpoints
+	detector := opt.Detector
+	if detector == (ps.DetectorConfig{}) {
+		// A wholly unset detector config means "the defaults", not
+		// "detect but never recover".
+		detector = ps.DefaultDetectorConfig()
+	}
+	if opt.Faults != nil {
+		seed := opt.Faults.Seed
+		if seed == 0 {
+			seed = 0xfa17
+		}
+		sim.EnableChaos(seed, opt.Faults.LossProb, opt.Faults.ExtraDelaySec)
+		master.Unreliable = true
+	}
 	return &Engine{
-		Sim:     sim,
-		Cluster: cl,
-		RDD:     ctx,
-		PS:      master,
-		DCV:     dcv.NewSession(master),
+		Sim:      sim,
+		Cluster:  cl,
+		RDD:      ctx,
+		PS:       master,
+		DCV:      dcv.NewSession(master),
+		faults:   opt.Faults,
+		detector: detector,
+		monitor:  opt.Faults != nil || opt.Detector.IntervalSec > 0,
 	}
 }
 
 // Run executes job as the driver process and runs the simulation to
-// completion, returning the virtual time at which the job finished.
+// completion, returning the virtual time at which the job finished. If the
+// engine has a fault plan, the chaos controller and the heartbeat failure
+// detector run alongside the job and are shut down when it completes.
 func (e *Engine) Run(job func(p *simnet.Proc)) simnet.Time {
 	var end simnet.Time
+	stop := e.Sim.NewSignal()
+	if e.faults != nil {
+		plan := &simnet.FaultPlan{}
+		for _, ev := range e.faults.ServerCrashes {
+			ev := ev
+			plan.Actions = append(plan.Actions, simnet.FaultAction{
+				At:   ev.AtSec,
+				Name: fmt.Sprintf("crash-server-%d", ev.Index),
+				Do:   func() { e.PS.CrashServer(ev.Index) },
+			})
+		}
+		for _, ev := range e.faults.ExecutorCrashes {
+			ev := ev
+			plan.Actions = append(plan.Actions, simnet.FaultAction{
+				At:   ev.AtSec,
+				Name: fmt.Sprintf("crash-executor-%d", ev.Index),
+				Do:   func() { e.RDD.CrashExecutor(ev.Index) },
+			})
+		}
+		e.Sim.StartFaultPlan(plan, stop)
+	}
+	if e.monitor {
+		e.PS.StartMonitor(e.detector)
+	}
 	e.Sim.Spawn("driver", func(p *simnet.Proc) {
 		job(p)
 		end = p.Now()
+		stop.Fire()
+		e.PS.StopMonitor()
 	})
 	e.Sim.Run()
 	return end
 }
+
+// RecoveryReport returns the self-healing subsystem's accumulated metrics:
+// crashes injected, detection latency, recovery time, checkpoint and restore
+// traffic.
+func (e *Engine) RecoveryReport() ps.RecoveryStats { return e.PS.Recovery }
 
 // Driver returns the coordinator machine (the Spark driver, which also hosts
 // the PS-master).

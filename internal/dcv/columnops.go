@@ -3,6 +3,7 @@ package dcv
 import (
 	"fmt"
 
+	"repro/internal/ps"
 	"repro/internal/simnet"
 )
 
@@ -32,6 +33,9 @@ func (sp ShardSpan) Width() int { return sp.Hi - sp.Lo }
 // zipInvoke runs fn on every logical shard of v with aligned operand slices,
 // charging request/response traffic, per-element server work, and — for
 // non-co-located operands — the server-to-server shuffle of their ranges.
+// Each shard's invocation rides the PS retry layer (ps.CallShard), so a
+// column op that races a server crash blocks until recovery and re-executes
+// against the restored shard; only exhausted retries surface as an error.
 func (v *Vector) zipInvoke(p *simnet.Proc, from *simnet.Node, others []*Vector,
 	respBytes, workPerElem float64, fn func(span ShardSpan)) error {
 	for i, ov := range others {
@@ -43,36 +47,53 @@ func (v *Vector) zipInvoke(p *simnet.Proc, from *simnet.Node, others []*Vector,
 		}
 	}
 	cost := v.sess.Master.Cl.Cost
+	errs := make([]error, v.mat.Part.Servers)
 	g := p.Sim().NewGroup()
 	for s := 0; s < v.mat.Part.Servers; s++ {
 		s := s
 		g.Go("zip", func(cp *simnet.Proc) {
-			sh := v.mat.ShardOf(s)
-			host := v.mat.ServerNode(s)
-			width := sh.Hi - sh.Lo
-			// Command from the issuing machine (driver or worker).
-			from.Send(cp, host, cost.RequestOverheadB)
-			rows := make([][]float64, 1+len(others))
-			rows[0] = sh.Rows[v.row]
-			for i, ov := range others {
-				if ov.mat == v.mat {
-					rows[1+i] = sh.Rows[ov.row]
-					continue
-				}
-				// Shuffle: same logical range, different physical server
-				// (or at least a different matrix whose placement is not
-				// guaranteed). Ship the operand's slice across.
-				src := ov.mat.ServerNode(s)
-				osh := ov.mat.ShardOf(s)
-				src.Send(cp, host, cost.DenseBytes(width))
-				rows[1+i] = append([]float64(nil), osh.Rows[ov.row]...)
-			}
-			host.Compute(cp, workPerElem*float64(width)*float64(1+len(others)))
-			fn(ShardSpan{Shard: s, Lo: sh.Lo, Hi: sh.Hi, Rows: rows})
-			host.Send(cp, from, cost.RequestOverheadB+respBytes)
+			errs[s] = v.mat.CallShard(cp, from, ps.CallSpec{
+				Shard:     s,
+				ReqBytes:  cost.RequestOverheadB,
+				RespBytes: cost.RequestOverheadB + respBytes,
+				Mutates:   true,
+				Fn: func(fp *simnet.Proc, sh *ps.Shard) error {
+					host := v.mat.ServerNode(s)
+					width := sh.Hi - sh.Lo
+					rows := make([][]float64, 1+len(others))
+					rows[0] = sh.Rows[v.row]
+					for i, ov := range others {
+						if ov.mat == v.mat {
+							rows[1+i] = sh.Rows[ov.row]
+							continue
+						}
+						// Shuffle: same logical range, different physical
+						// server (or at least a different matrix whose
+						// placement is not guaranteed). Ship the operand's
+						// slice across; a dead peer makes the whole
+						// invocation retry.
+						osh, err := ov.mat.TryShard(s)
+						if err != nil {
+							return err
+						}
+						if err := ov.mat.ServerNode(s).TrySend(fp, host, cost.DenseBytes(width)); err != nil {
+							return err
+						}
+						rows[1+i] = append([]float64(nil), osh.Rows[ov.row]...)
+					}
+					host.Compute(fp, workPerElem*float64(width)*float64(1+len(others)))
+					fn(ShardSpan{Shard: s, Lo: sh.Lo, Hi: sh.Hi, Rows: rows})
+					return nil
+				},
+			})
 		})
 	}
 	g.Wait(p)
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -82,15 +103,21 @@ func (v *Vector) zipInvoke(p *simnet.Proc, from *simnet.Node, others []*Vector,
 // are shuffled between servers first.
 func (v *Vector) Dot(p *simnet.Proc, from *simnet.Node, other *Vector) (float64, error) {
 	cost := v.sess.Master.Cl.Cost
-	var total float64
+	// One slot per shard (not `total += partial`): a retried invocation
+	// re-executes fn, and assignment is idempotent where accumulation is not.
+	partials := make([]float64, v.mat.Part.Servers)
 	err := v.zipInvoke(p, from, []*Vector{other}, 8, cost.FlopsPerElem, func(sp ShardSpan) {
 		var partial float64
 		a, b := sp.Rows[0], sp.Rows[1]
 		for i := range a {
 			partial += a[i] * b[i]
 		}
-		total += partial
+		partials[sp.Shard] = partial
 	})
+	var total float64
+	for _, x := range partials {
+		total += x
+	}
 	return total, err
 }
 

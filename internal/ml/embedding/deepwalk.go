@@ -59,7 +59,11 @@ type Config struct {
 	// UniformNegatives draws negative samples uniformly instead of from the
 	// word2vec unigram^0.75 noise distribution (the default).
 	UniformNegatives bool
-	Seed             uint64
+	// CheckpointEvery, when positive, checkpoints the embedding matrix to
+	// the reliable store every that-many iterations, bounding what a server
+	// crash can lose (paper Section 5.3).
+	CheckpointEvery int
+	Seed            uint64
 }
 
 // DefaultConfig returns the paper's Table 4 values with an embedding
@@ -152,6 +156,9 @@ func Train(p *simnet.Proc, e *core.Engine, pairs *rdd.RDD[data.Pair], vertices i
 		if count > 0 {
 			model.Trace.Add(p.Now(), lossSum/count)
 		}
+		if cfg.CheckpointEvery > 0 && (it+1)%cfg.CheckpointEvery == 0 {
+			e.PS.Checkpoint(p, mat)
+		}
 	}
 	return model, nil
 }
@@ -221,11 +228,14 @@ func initEmbeddings(p *simnet.Proc, e *core.Engine, mat *ps.Matrix, vertices int
 func dcvStep(tc *rdd.TaskContext, mat *ps.Matrix, center int, contexts []int, labels []float64, cfg Config) float64 {
 	cost := tc.Ctx.Cl.Cost
 	nctx := len(contexts)
-	dots := make([]float64, nctx)
 	// Server-side dots: request carries the row ids, response the partials.
+	// Each server assigns into its own slot (never accumulates into shared
+	// host memory) so a retried invocation after a crash stays idempotent.
+	partsByServer := make([][]float64, mat.Part.Servers)
 	mat.Invoke(tc.P, tc.Node, 4*float64(1+nctx), 8*float64(nctx),
 		func(w int) float64 { return cost.ElemWork(w * nctx) },
 		func(s int, sh *ps.Shard) float64 {
+			part := make([]float64, nctx)
 			u := sh.Rows[center]
 			for j, ctx := range contexts {
 				c := sh.Rows[ctx]
@@ -233,10 +243,17 @@ func dcvStep(tc *rdd.TaskContext, mat *ps.Matrix, center int, contexts []int, la
 				for i := range u {
 					partial += u[i] * c[i]
 				}
-				dots[j] += partial
+				part[j] = partial
 			}
+			partsByServer[s] = part
 			return 0
 		})
+	dots := make([]float64, nctx)
+	for _, part := range partsByServer {
+		for j, x := range part {
+			dots[j] += x
+		}
+	}
 	// Gradients are scalars computed at the worker.
 	gs := make([]float64, nctx)
 	var loss float64

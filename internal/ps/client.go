@@ -14,27 +14,52 @@ import (
 // methods on Matrix that take the calling process and its machine; the
 // routing table is the matrix's partitioner, fetched from the master at
 // matrix creation.
+//
+// Every operator fans out one CallShard per shard (see rpc.go), so all of
+// them transparently ride out message loss and server crashes: a request
+// that races a crash blocks in retry/backoff until the failure detector has
+// swapped in a replacement, then lands on the restored shard. The plain
+// operators keep their non-error signatures and panic with an error wrapping
+// ErrServerDown only when MaxRetries is exhausted; Try variants of the two
+// hottest operators return that error instead.
 
 // PullRow fetches one full row from all servers in parallel and assembles it
 // at the caller. Every server ships its [lo,hi) stretch of the row, so the
 // transfer parallelizes over servers — the "multiple servers replace the
 // single-node driver" effect.
 func (mat *Matrix) PullRow(p *simnet.Proc, from *simnet.Node, row int) []float64 {
+	out, err := mat.TryPullRow(p, from, row)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// TryPullRow is PullRow returning a typed error (wrapping ErrServerDown or
+// simnet.ErrNodeDown) instead of panicking when a shard stays unreachable.
+func (mat *Matrix) TryPullRow(p *simnet.Proc, from *simnet.Node, row int) ([]float64, error) {
 	mat.checkRow(row)
 	cost := mat.master.Cl.Cost
 	out := make([]float64, mat.Dim)
+	errs := make([]error, mat.Part.Servers)
 	g := p.Sim().NewGroup()
 	for s := 0; s < mat.Part.Servers; s++ {
 		s := s
 		g.Go("pull", func(cp *simnet.Proc) {
-			sh := mat.shardOn(s)
-			from.Send(cp, mat.srv(s).Node, cost.RequestOverheadB)
-			mat.srv(s).Node.Send(cp, from, cost.DenseBytes(sh.Hi-sh.Lo))
-			copy(out[sh.Lo:sh.Hi], sh.Rows[row])
+			lo, hi := mat.Part.Range(s)
+			errs[s] = mat.CallShard(cp, from, CallSpec{
+				Shard:     s,
+				ReqBytes:  cost.RequestOverheadB,
+				RespBytes: cost.DenseBytes(hi - lo),
+				Fn: func(_ *simnet.Proc, sh *Shard) error {
+					copy(out[sh.Lo:sh.Hi], sh.Rows[row])
+					return nil
+				},
+			})
 		})
 	}
 	g.Wait(p)
-	return out
+	return out, firstError(errs)
 }
 
 // PullRowCompressed fetches a full row but ships only the stored nonzeros of
@@ -44,22 +69,31 @@ func (mat *Matrix) PullRowCompressed(p *simnet.Proc, from *simnet.Node, row int)
 	mat.checkRow(row)
 	cost := mat.master.Cl.Cost
 	out := make([]float64, mat.Dim)
+	errs := make([]error, mat.Part.Servers)
 	g := p.Sim().NewGroup()
 	for s := 0; s < mat.Part.Servers; s++ {
 		s := s
 		g.Go("pull-compressed", func(cp *simnet.Proc) {
-			sh := mat.shardOn(s)
-			srv := mat.srv(s).Node
-			from.Send(cp, srv, cost.RequestOverheadB)
-			nnz := linalg.NnzDense(sh.Rows[row])
-			srv.Compute(cp, cost.ElemWork(sh.Hi-sh.Lo))
-			srv.Send(cp, from, cost.SparseBytes(nnz))
-			for c, val := range sh.Rows[row] {
-				out[sh.Lo+c] = val
-			}
+			errs[s] = mat.CallShard(cp, from, CallSpec{
+				Shard:    s,
+				ReqBytes: cost.RequestOverheadB,
+				Work:     func(w int) float64 { return cost.ElemWork(w) },
+				RespBytesFn: func(sh *Shard) float64 {
+					return cost.SparseBytes(linalg.NnzDense(sh.Rows[row]))
+				},
+				Fn: func(_ *simnet.Proc, sh *Shard) error {
+					for c, val := range sh.Rows[row] {
+						out[sh.Lo+c] = val
+					}
+					return nil
+				},
+			})
 		})
 	}
 	g.Wait(p)
+	if err := firstError(errs); err != nil {
+		panic(err)
+	}
 	return out
 }
 
@@ -81,6 +115,7 @@ func (mat *Matrix) PullRowIndices(p *simnet.Proc, from *simnet.Node, row int, in
 	cost := mat.master.Cl.Cost
 	out := make([]float64, len(indices))
 	split := mat.Part.SplitIndices(indices)
+	errs := make([]error, mat.Part.Servers)
 	g := p.Sim().NewGroup()
 	offset := 0
 	for s := 0; s < mat.Part.Servers; s++ {
@@ -91,17 +126,24 @@ func (mat *Matrix) PullRowIndices(p *simnet.Proc, from *simnet.Node, row int, in
 		s, off := s, offset
 		offset += len(idx)
 		g.Go("pull-sparse", func(cp *simnet.Proc) {
-			sh := mat.shardOn(s)
-			srv := mat.srv(s).Node
-			// Request carries the indices; response carries the values.
-			from.Send(cp, srv, cost.RequestOverheadB+4*float64(len(idx)))
-			srv.Send(cp, from, cost.RequestOverheadB+8*float64(len(idx)))
-			for k, col := range idx {
-				out[off+k] = sh.Rows[row][col-sh.Lo]
-			}
+			errs[s] = mat.CallShard(cp, from, CallSpec{
+				Shard: s,
+				// Request carries the indices; response carries the values.
+				ReqBytes:  cost.RequestOverheadB + 4*float64(len(idx)),
+				RespBytes: cost.RequestOverheadB + 8*float64(len(idx)),
+				Fn: func(_ *simnet.Proc, sh *Shard) error {
+					for k, col := range idx {
+						out[off+k] = sh.Rows[row][col-sh.Lo]
+					}
+					return nil
+				},
+			})
 		})
 	}
 	g.Wait(p)
+	if err := firstError(errs); err != nil {
+		panic(err)
+	}
 	return out
 }
 
@@ -110,9 +152,18 @@ func (mat *Matrix) PullRowIndices(p *simnet.Proc, from *simnet.Node, row int, in
 // the paper's Figure 3 (line 18); it is also the pull/push-only baselines'
 // push primitive.
 func (mat *Matrix) PushAdd(p *simnet.Proc, from *simnet.Node, row int, delta *linalg.SparseVector) {
+	if err := mat.TryPushAdd(p, from, row, delta); err != nil {
+		panic(err)
+	}
+}
+
+// TryPushAdd is PushAdd returning a typed error (wrapping ErrServerDown or
+// simnet.ErrNodeDown) instead of panicking when a shard stays unreachable.
+func (mat *Matrix) TryPushAdd(p *simnet.Proc, from *simnet.Node, row int, delta *linalg.SparseVector) error {
 	mat.checkRow(row)
 	cost := mat.master.Cl.Cost
 	split := mat.Part.SplitIndices(delta.Indices)
+	errs := make([]error, mat.Part.Servers)
 	g := p.Sim().NewGroup()
 	offset := 0
 	for s := 0; s < mat.Part.Servers; s++ {
@@ -123,17 +174,23 @@ func (mat *Matrix) PushAdd(p *simnet.Proc, from *simnet.Node, row int, delta *li
 		s, off := s, offset
 		offset += len(idx)
 		g.Go("push", func(cp *simnet.Proc) {
-			sh := mat.shardOn(s)
-			srv := mat.srv(s).Node
-			from.Send(cp, srv, cost.SparseBytes(len(idx)))
-			srv.Compute(cp, cost.ElemWork(len(idx)))
-			for k, col := range idx {
-				sh.Rows[row][col-sh.Lo] += delta.Values[off+k]
-			}
-			srv.Send(cp, from, cost.RequestOverheadB) // ack
+			errs[s] = mat.CallShard(cp, from, CallSpec{
+				Shard:     s,
+				ReqBytes:  cost.SparseBytes(len(idx)),
+				RespBytes: cost.RequestOverheadB, // ack
+				Work:      func(int) float64 { return cost.ElemWork(len(idx)) },
+				Mutates:   true,
+				Fn: func(_ *simnet.Proc, sh *Shard) error {
+					for k, col := range idx {
+						sh.Rows[row][col-sh.Lo] += delta.Values[off+k]
+					}
+					return nil
+				},
+			})
 		})
 	}
 	g.Wait(p)
+	return firstError(errs)
 }
 
 // PushAddDense adds a dense delta into a row, shipping each server its full
@@ -144,21 +201,31 @@ func (mat *Matrix) PushAddDense(p *simnet.Proc, from *simnet.Node, row int, delt
 		panic(fmt.Sprintf("ps: PushAddDense got %d values for dim %d", len(delta), mat.Dim))
 	}
 	cost := mat.master.Cl.Cost
+	errs := make([]error, mat.Part.Servers)
 	g := p.Sim().NewGroup()
 	for s := 0; s < mat.Part.Servers; s++ {
 		s := s
 		g.Go("push-dense", func(cp *simnet.Proc) {
-			sh := mat.shardOn(s)
-			srv := mat.srv(s).Node
-			from.Send(cp, srv, cost.DenseBytes(sh.Hi-sh.Lo))
-			srv.Compute(cp, cost.ElemWork(sh.Hi-sh.Lo))
-			for c := sh.Lo; c < sh.Hi; c++ {
-				sh.Rows[row][c-sh.Lo] += delta[c]
-			}
-			srv.Send(cp, from, cost.RequestOverheadB) // ack
+			lo, hi := mat.Part.Range(s)
+			errs[s] = mat.CallShard(cp, from, CallSpec{
+				Shard:     s,
+				ReqBytes:  cost.DenseBytes(hi - lo),
+				RespBytes: cost.RequestOverheadB, // ack
+				Work:      func(w int) float64 { return cost.ElemWork(w) },
+				Mutates:   true,
+				Fn: func(_ *simnet.Proc, sh *Shard) error {
+					for c := sh.Lo; c < sh.Hi; c++ {
+						sh.Rows[row][c-sh.Lo] += delta[c]
+					}
+					return nil
+				},
+			})
 		})
 	}
 	g.Wait(p)
+	if err := firstError(errs); err != nil {
+		panic(err)
+	}
 }
 
 // SetRow overwrites a row (used to initialize models).
@@ -168,18 +235,28 @@ func (mat *Matrix) SetRow(p *simnet.Proc, from *simnet.Node, row int, values []f
 		panic(fmt.Sprintf("ps: SetRow got %d values for dim %d", len(values), mat.Dim))
 	}
 	cost := mat.master.Cl.Cost
+	errs := make([]error, mat.Part.Servers)
 	g := p.Sim().NewGroup()
 	for s := 0; s < mat.Part.Servers; s++ {
 		s := s
 		g.Go("set-row", func(cp *simnet.Proc) {
-			sh := mat.shardOn(s)
-			srv := mat.srv(s).Node
-			from.Send(cp, srv, cost.DenseBytes(sh.Hi-sh.Lo))
-			copy(sh.Rows[row], values[sh.Lo:sh.Hi])
-			srv.Send(cp, from, cost.RequestOverheadB)
+			lo, hi := mat.Part.Range(s)
+			errs[s] = mat.CallShard(cp, from, CallSpec{
+				Shard:     s,
+				ReqBytes:  cost.DenseBytes(hi - lo),
+				RespBytes: cost.RequestOverheadB,
+				Mutates:   true,
+				Fn: func(_ *simnet.Proc, sh *Shard) error {
+					copy(sh.Rows[row], values[sh.Lo:sh.Hi])
+					return nil
+				},
+			})
 		})
 	}
 	g.Wait(p)
+	if err := firstError(errs); err != nil {
+		panic(err)
+	}
 }
 
 // PullRowRange fetches the columns [lo, hi) of one row, touching only the
@@ -193,6 +270,7 @@ func (mat *Matrix) PullRowRange(p *simnet.Proc, from *simnet.Node, row, lo, hi i
 	}
 	cost := mat.master.Cl.Cost
 	out := make([]float64, hi-lo)
+	errs := make([]error, mat.Part.Servers)
 	g := p.Sim().NewGroup()
 	for s := 0; s < mat.Part.Servers; s++ {
 		sLo, sHi := mat.Part.Range(s)
@@ -202,14 +280,21 @@ func (mat *Matrix) PullRowRange(p *simnet.Proc, from *simnet.Node, row, lo, hi i
 		}
 		s := s
 		g.Go("pull-range", func(cp *simnet.Proc) {
-			sh := mat.shardOn(s)
-			srv := mat.srv(s).Node
-			from.Send(cp, srv, cost.RequestOverheadB)
-			srv.Send(cp, from, cost.DenseBytes(oHi-oLo))
-			copy(out[oLo-lo:oHi-lo], sh.Rows[row][oLo-sh.Lo:oHi-sh.Lo])
+			errs[s] = mat.CallShard(cp, from, CallSpec{
+				Shard:     s,
+				ReqBytes:  cost.RequestOverheadB,
+				RespBytes: cost.DenseBytes(oHi - oLo),
+				Fn: func(_ *simnet.Proc, sh *Shard) error {
+					copy(out[oLo-lo:oHi-lo], sh.Rows[row][oLo-sh.Lo:oHi-sh.Lo])
+					return nil
+				},
+			})
 		})
 	}
 	g.Wait(p)
+	if err := firstError(errs); err != nil {
+		panic(err)
+	}
 	return out
 }
 
@@ -221,6 +306,7 @@ func (mat *Matrix) SetRowRange(p *simnet.Proc, from *simnet.Node, row, lo, hi in
 		panic(fmt.Sprintf("ps: SetRowRange got %d values for [%d,%d) of dim %d", len(values), lo, hi, mat.Dim))
 	}
 	cost := mat.master.Cl.Cost
+	errs := make([]error, mat.Part.Servers)
 	g := p.Sim().NewGroup()
 	for s := 0; s < mat.Part.Servers; s++ {
 		sLo, sHi := mat.Part.Range(s)
@@ -230,14 +316,22 @@ func (mat *Matrix) SetRowRange(p *simnet.Proc, from *simnet.Node, row, lo, hi in
 		}
 		s := s
 		g.Go("set-range", func(cp *simnet.Proc) {
-			sh := mat.shardOn(s)
-			srv := mat.srv(s).Node
-			from.Send(cp, srv, cost.DenseBytes(oHi-oLo))
-			copy(sh.Rows[row][oLo-sh.Lo:oHi-sh.Lo], values[oLo-lo:oHi-lo])
-			srv.Send(cp, from, cost.RequestOverheadB)
+			errs[s] = mat.CallShard(cp, from, CallSpec{
+				Shard:     s,
+				ReqBytes:  cost.DenseBytes(oHi - oLo),
+				RespBytes: cost.RequestOverheadB,
+				Mutates:   true,
+				Fn: func(_ *simnet.Proc, sh *Shard) error {
+					copy(sh.Rows[row][oLo-sh.Lo:oHi-sh.Lo], values[oLo-lo:oHi-lo])
+					return nil
+				},
+			})
 		})
 	}
 	g.Wait(p)
+	if err := firstError(errs); err != nil {
+		panic(err)
+	}
 }
 
 // PullRows fetches several whole rows in one batched request per server —
@@ -253,21 +347,29 @@ func (mat *Matrix) PullRows(p *simnet.Proc, from *simnet.Node, rows []int) [][]f
 	for i := range out {
 		out[i] = make([]float64, mat.Dim)
 	}
+	errs := make([]error, mat.Part.Servers)
 	g := p.Sim().NewGroup()
 	for s := 0; s < mat.Part.Servers; s++ {
 		s := s
 		g.Go("pull-rows", func(cp *simnet.Proc) {
-			sh := mat.shardOn(s)
-			srv := mat.srv(s).Node
-			width := sh.Hi - sh.Lo
-			from.Send(cp, srv, cost.RequestOverheadB+4*float64(len(rows)))
-			srv.Send(cp, from, cost.RequestOverheadB+8*float64(len(rows)*width))
-			for i, r := range rows {
-				copy(out[i][sh.Lo:sh.Hi], sh.Rows[r])
-			}
+			lo, hi := mat.Part.Range(s)
+			errs[s] = mat.CallShard(cp, from, CallSpec{
+				Shard:     s,
+				ReqBytes:  cost.RequestOverheadB + 4*float64(len(rows)),
+				RespBytes: cost.RequestOverheadB + 8*float64(len(rows)*(hi-lo)),
+				Fn: func(_ *simnet.Proc, sh *Shard) error {
+					for i, r := range rows {
+						copy(out[i][sh.Lo:sh.Hi], sh.Rows[r])
+					}
+					return nil
+				},
+			})
 		})
 	}
 	g.Wait(p)
+	if err := firstError(errs); err != nil {
+		panic(err)
+	}
 	return out
 }
 
@@ -284,52 +386,70 @@ func (mat *Matrix) PushRowsDelta(p *simnet.Proc, from *simnet.Node, rows []int, 
 		}
 	}
 	cost := mat.master.Cl.Cost
+	errs := make([]error, mat.Part.Servers)
 	g := p.Sim().NewGroup()
 	for s := 0; s < mat.Part.Servers; s++ {
 		s := s
 		g.Go("push-rows", func(cp *simnet.Proc) {
-			sh := mat.shardOn(s)
-			srv := mat.srv(s).Node
-			width := sh.Hi - sh.Lo
-			from.Send(cp, srv, cost.RequestOverheadB+4*float64(len(rows))+8*float64(len(rows)*width))
-			srv.Compute(cp, cost.ElemWork(len(rows)*width))
-			for i, r := range rows {
-				row := sh.Rows[r]
-				d := deltas[i]
-				for c := sh.Lo; c < sh.Hi; c++ {
-					row[c-sh.Lo] += d[c]
-				}
-			}
-			srv.Send(cp, from, cost.RequestOverheadB)
+			lo, hi := mat.Part.Range(s)
+			width := hi - lo
+			errs[s] = mat.CallShard(cp, from, CallSpec{
+				Shard:     s,
+				ReqBytes:  cost.RequestOverheadB + 4*float64(len(rows)) + 8*float64(len(rows)*width),
+				RespBytes: cost.RequestOverheadB,
+				Work:      func(w int) float64 { return cost.ElemWork(len(rows) * w) },
+				Mutates:   true,
+				Fn: func(_ *simnet.Proc, sh *Shard) error {
+					for i, r := range rows {
+						row := sh.Rows[r]
+						d := deltas[i]
+						for c := sh.Lo; c < sh.Hi; c++ {
+							row[c-sh.Lo] += d[c]
+						}
+					}
+					return nil
+				},
+			})
 		})
 	}
 	g.Wait(p)
+	if err := firstError(errs); err != nil {
+		panic(err)
+	}
 }
 
 // Invoke runs fn against every server's shard in parallel: the caller sends
 // reqBytes to each server, the server charges work(width) compute, fn mutates
 // or reads the shard and returns a partial scalar, and the server replies
 // with respBytes. The returned slice holds each server's partial. This is
-// the transport under every DCV column-access operator.
+// the transport under every DCV column-access operator. Invocations are
+// dedup'd like pushes, so a retried invoke never double-applies a mutation.
 func (mat *Matrix) Invoke(p *simnet.Proc, from *simnet.Node, reqBytes, respBytes float64,
 	work func(width int) float64, fn func(s int, sh *Shard) float64) []float64 {
 	cost := mat.master.Cl.Cost
 	partials := make([]float64, mat.Part.Servers)
+	errs := make([]error, mat.Part.Servers)
 	g := p.Sim().NewGroup()
 	for s := 0; s < mat.Part.Servers; s++ {
 		s := s
 		g.Go("invoke", func(cp *simnet.Proc) {
-			sh := mat.shardOn(s)
-			srv := mat.srv(s).Node
-			from.Send(cp, srv, cost.RequestOverheadB+reqBytes)
-			if work != nil {
-				srv.Compute(cp, work(sh.Hi-sh.Lo))
-			}
-			partials[s] = fn(s, sh)
-			srv.Send(cp, from, cost.RequestOverheadB+respBytes)
+			errs[s] = mat.CallShard(cp, from, CallSpec{
+				Shard:     s,
+				ReqBytes:  cost.RequestOverheadB + reqBytes,
+				RespBytes: cost.RequestOverheadB + respBytes,
+				Work:      work,
+				Mutates:   true,
+				Fn: func(_ *simnet.Proc, sh *Shard) error {
+					partials[s] = fn(s, sh)
+					return nil
+				},
+			})
 		})
 	}
 	g.Wait(p)
+	if err := firstError(errs); err != nil {
+		panic(err)
+	}
 	return partials
 }
 

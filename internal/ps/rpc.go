@@ -1,0 +1,243 @@
+package ps
+
+// This file is the fault-tolerant RPC layer between PS-clients and
+// PS-servers. Every data-plane operator (pull, push, server-side invoke)
+// funnels through Matrix.CallShard, which wraps one logical request to one
+// shard in a retry/timeout/backoff loop:
+//
+//   - a lost message (chaos drop) costs one client timeout, then a resend;
+//   - a dead or crashed server costs exponential backoff until the master's
+//     failure detector recovers it, at which point the retry lands on the
+//     replacement machine;
+//   - MaxRetries exhausted surfaces a typed ErrServerDown instead of the
+//     pre-fault-tolerance behaviour of panicking the whole simulation.
+//
+// Delivery is at-least-once; *effects* are exactly-once per server
+// incarnation: when the run is unreliable, every mutating request carries a
+// unique ID and servers keep an applied-set, so a retry after a lost
+// response does not double-apply a gradient. The applied-set dies with the
+// server — state restored from a checkpoint may re-apply a pre-crash update,
+// which matches the paper's loss-since-checkpoint recovery semantics.
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/simnet"
+)
+
+// ErrServerDown is returned (wrapped) by Try* operators and panicked by the
+// plain operators when a shard's server stays unreachable for MaxRetries
+// attempts.
+var ErrServerDown = errors.New("ps: server down")
+
+// RetryConfig tunes the client-side retry loop.
+type RetryConfig struct {
+	TimeoutSec    float64 // wait after a lost message before resending
+	BackoffSec    float64 // initial wait when the server is known down
+	MaxBackoffSec float64 // backoff cap
+	MaxRetries    int     // attempts before giving up with ErrServerDown
+}
+
+// DefaultRetryConfig returns the retry policy used by all experiments: with
+// the default detector (0.5 s interval, 2 misses) a crashed server is
+// replaced in ~1.5 s, well inside MaxRetries × MaxBackoffSec.
+func DefaultRetryConfig() RetryConfig {
+	return RetryConfig{
+		TimeoutSec:    0.25,
+		BackoffSec:    0.05,
+		MaxBackoffSec: 1.0,
+		MaxRetries:    120,
+	}
+}
+
+func (rc RetryConfig) withDefaults() RetryConfig {
+	d := DefaultRetryConfig()
+	if rc.TimeoutSec <= 0 {
+		rc.TimeoutSec = d.TimeoutSec
+	}
+	if rc.BackoffSec <= 0 {
+		rc.BackoffSec = d.BackoffSec
+	}
+	if rc.MaxBackoffSec <= 0 {
+		rc.MaxBackoffSec = d.MaxBackoffSec
+	}
+	if rc.MaxRetries <= 0 {
+		rc.MaxRetries = d.MaxRetries
+	}
+	return rc
+}
+
+// CallSpec describes one logical RPC to one shard.
+type CallSpec struct {
+	Shard    int     // logical shard index
+	ReqBytes float64 // request size on the wire (including framing)
+
+	// RespBytes is the response size; RespBytesFn overrides it when the size
+	// is only known server-side (e.g. compressed pulls ship the shard's nnz).
+	RespBytes   float64
+	RespBytesFn func(sh *Shard) float64
+
+	// Work charges server CPU before Fn runs; width is the shard's column
+	// count.
+	Work func(width int) float64
+
+	// Mutates marks requests whose Fn changes shard state; they get a request
+	// ID and server-side dedup so retries apply effects exactly once per
+	// server incarnation.
+	Mutates bool
+
+	// Fn is the server-side handler. It may block (the DCV shuffle path
+	// fetches operand slices from peer servers) and may return a retryable
+	// error.
+	Fn func(cp *simnet.Proc, sh *Shard) error
+}
+
+// nextReqID allocates a request ID for mutation dedup. Zero means "no dedup"
+// and is used while the run is reliable, so clean runs pay no tracking.
+func (m *Master) nextReqID() uint64 {
+	m.reqSeq++
+	return m.reqSeq
+}
+
+// unreliable reports whether failures can occur in this run: a fault has
+// already been injected, or the chaos layer is armed.
+func (m *Master) unreliable() bool {
+	return m.Unreliable || m.Cl.Sim.ChaosEnabled()
+}
+
+// CallShard performs one at-least-once RPC against logical shard spec.Shard,
+// retrying through message loss and server crashes. It returns nil once the
+// response is delivered, an error wrapping simnet.ErrNodeDown if the calling
+// machine itself is down, and an error wrapping ErrServerDown after
+// MaxRetries failed attempts.
+func (mat *Matrix) CallShard(p *simnet.Proc, from *simnet.Node, spec CallSpec) error {
+	m := mat.master
+	rc := m.Retry.withDefaults()
+	var id uint64
+	if spec.Mutates && m.unreliable() {
+		id = m.nextReqID()
+	}
+	backoff := rc.BackoffSec
+	wait := func(d float64) {
+		p.Sleep(d)
+	}
+	for attempt := 0; attempt < rc.MaxRetries; attempt++ {
+		if !from.Up() {
+			return fmt.Errorf("ps: client machine %q crashed: %w", from.Name, simnet.ErrNodeDown)
+		}
+		srv := mat.srv(spec.Shard)
+		if !srv.alive || !srv.Node.Up() {
+			// Known-dead server: wait for the detector to swap in a
+			// replacement, backing off exponentially.
+			wait(backoff)
+			backoff = min(backoff*2, rc.MaxBackoffSec)
+			continue
+		}
+		node := srv.Node
+		if err := from.TrySend(p, node, spec.ReqBytes); err != nil {
+			if !from.Up() {
+				return fmt.Errorf("ps: client machine %q crashed: %w", from.Name, simnet.ErrNodeDown)
+			}
+			if errors.Is(err, simnet.ErrMsgLost) {
+				wait(rc.TimeoutSec)
+			} else {
+				wait(backoff)
+				backoff = min(backoff*2, rc.MaxBackoffSec)
+			}
+			continue
+		}
+		sh, ok := srv.shards[mat.ID]
+		if !ok {
+			// Raced a crash between routing and arrival.
+			wait(backoff)
+			backoff = min(backoff*2, rc.MaxBackoffSec)
+			continue
+		}
+		if spec.Work != nil {
+			node.Compute(p, spec.Work(sh.Hi-sh.Lo))
+		}
+		// The server may have crashed (and even been replaced) while the
+		// request was queued on its CPU; a handler must not touch dead state.
+		if !node.Up() || srv.Node != node || srv.shards[mat.ID] != sh {
+			wait(backoff)
+			backoff = min(backoff*2, rc.MaxBackoffSec)
+			continue
+		}
+		if spec.Fn != nil && !(id != 0 && srv.applied[id]) {
+			if err := spec.Fn(p, sh); err != nil {
+				wait(rc.TimeoutSec)
+				continue
+			}
+			// Fn may block (operand shuffle); re-validate before committing.
+			if !node.Up() || srv.Node != node || srv.shards[mat.ID] != sh {
+				wait(backoff)
+				backoff = min(backoff*2, rc.MaxBackoffSec)
+				continue
+			}
+			if id != 0 {
+				srv.applied[id] = true
+			}
+		}
+		respBytes := spec.RespBytes
+		if spec.RespBytesFn != nil {
+			respBytes = spec.RespBytesFn(sh)
+		}
+		if err := node.TrySend(p, from, respBytes); err != nil {
+			if !from.Up() {
+				return fmt.Errorf("ps: client machine %q crashed: %w", from.Name, simnet.ErrNodeDown)
+			}
+			// Effect applied but unacked: the applied-set makes the resend
+			// idempotent.
+			if errors.Is(err, simnet.ErrMsgLost) {
+				wait(rc.TimeoutSec)
+			} else {
+				wait(backoff)
+				backoff = min(backoff*2, rc.MaxBackoffSec)
+			}
+			continue
+		}
+		return nil
+	}
+	return fmt.Errorf("ps: shard %d of matrix %d unreachable after %d attempts: %w",
+		spec.Shard, mat.ID, rc.MaxRetries, ErrServerDown)
+}
+
+// TryShard returns logical shard s if its server is up and holds the data,
+// and an error wrapping ErrServerDown otherwise. It is the fallible sibling
+// of ShardOf, used by the DCV shuffle path to read operand slices.
+func (mat *Matrix) TryShard(s int) (*Shard, error) {
+	srv := mat.srv(s)
+	sh, ok := srv.shards[mat.ID]
+	if !ok || !srv.alive || !srv.Node.Up() {
+		return nil, fmt.Errorf("ps: shard %d of matrix %d unavailable: %w", s, mat.ID, ErrServerDown)
+	}
+	return sh, nil
+}
+
+// reliableSend retries a transfer through message loss until delivered. It
+// gives up only when an endpoint is down (returning the ErrNodeDown) or
+// after a very large retry budget (returning ErrMsgLost) — the master uses
+// it for checkpoint and restore streams, whose endpoints include the
+// reliable store.
+func (m *Master) reliableSend(p *simnet.Proc, from, to *simnet.Node, bytes float64) error {
+	rc := m.Retry.withDefaults()
+	var err error
+	for i := 0; i < 10000; i++ {
+		err = from.TrySend(p, to, bytes)
+		if err == nil || errors.Is(err, simnet.ErrNodeDown) {
+			return err
+		}
+		p.Sleep(rc.TimeoutSec)
+	}
+	return err
+}
+
+func firstError(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

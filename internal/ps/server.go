@@ -2,6 +2,7 @@ package ps
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/cluster"
 	"repro/internal/simnet"
@@ -35,12 +36,42 @@ func (sh *Shard) bytes(cost cluster.CostModel) float64 {
 	return cost.DenseBytes(len(sh.Rows) * (sh.Hi - sh.Lo))
 }
 
+// diffCount returns how many elements differ between two snapshots of the
+// same shard — the entry count a delta checkpoint ships as (index, value)
+// pairs.
+func diffCount(prev, cur *Shard) int {
+	n := 0
+	for r := range cur.Rows {
+		pr := prev.Rows[r]
+		for c, v := range cur.Rows[r] {
+			if pr[c] != v {
+				n++
+			}
+		}
+	}
+	return n
+}
+
 // Server is one PS-server: a machine plus the matrix shards it stores.
 type Server struct {
 	Index  int
 	Node   *simnet.Node
 	shards map[int]*Shard
 	alive  bool
+
+	// failedAt is the virtual time of the last environment-injected crash
+	// (-1 when healthy); the detector uses it to report honest detection
+	// latency.
+	failedAt simnet.Time
+
+	// applied dedups mutating RPCs (see rpc.go). It dies with the server.
+	applied map[uint64]bool
+
+	// CarrySent/CarryRecv accumulate traffic counters of this logical
+	// server's previous machine incarnations, so Stats stays monotonic
+	// across recoveries.
+	CarrySent float64
+	CarryRecv float64
 }
 
 // Master is the PS-master living inside the coordinator: it owns matrix
@@ -55,17 +86,41 @@ type Master struct {
 	// checkpoints[matrixID][serverIndex] is the latest snapshot stored on
 	// the reliable store node.
 	checkpoints map[int][]*Shard
+
+	// Retry is the client-side retry policy for all data-plane RPCs.
+	Retry RetryConfig
+
+	// DeltaCheckpoints ships only changed elements on re-checkpoint instead
+	// of full snapshots (on by default; recovery restores full state either
+	// way because the store folds deltas into its base copy).
+	DeltaCheckpoints bool
+
+	// Unreliable marks runs where failures can occur; it arms request-ID
+	// dedup for mutations. Set automatically by Crash/KillServer and when
+	// the simulation's chaos layer is enabled.
+	Unreliable bool
+
+	// Recovery accumulates the self-healing subsystem's metrics.
+	Recovery RecoveryStats
+
+	reqSeq      uint64
+	monitorStop *simnet.Signal
 }
 
 // NewMaster starts a PS application over every server machine in cl.
 func NewMaster(cl *cluster.Cluster) *Master {
 	m := &Master{
-		Cl:          cl,
-		matrices:    map[int]*Matrix{},
-		checkpoints: map[int][]*Shard{},
+		Cl:               cl,
+		matrices:         map[int]*Matrix{},
+		checkpoints:      map[int][]*Shard{},
+		Retry:            DefaultRetryConfig(),
+		DeltaCheckpoints: true,
 	}
 	for i, node := range cl.Servers {
-		m.servers = append(m.servers, &Server{Index: i, Node: node, shards: map[int]*Shard{}, alive: true})
+		m.servers = append(m.servers, &Server{
+			Index: i, Node: node, shards: map[int]*Shard{}, alive: true,
+			failedAt: -1, applied: map[uint64]bool{},
+		})
 	}
 	return m
 }
@@ -143,52 +198,116 @@ func (mat *Matrix) shardOn(s int) *Shard {
 
 // Checkpoint writes a snapshot of every server's shard of mat to the
 // reliable store. The coordinator blocks until all servers finish; each
-// server streams its shard bytes to the store node in parallel.
+// server streams its shard bytes to the store node in parallel. With
+// DeltaCheckpoints on, a server that already checkpointed this matrix ships
+// only the elements that changed since (as sparse index/value pairs, capped
+// at the full-snapshot size); the store folds the delta into its base copy,
+// so restores always replay one full shard. Servers that are currently dead
+// are skipped — their previous snapshot remains the recovery point, which is
+// exactly the "loss since last checkpoint" model of the paper's §5.3.
 func (m *Master) Checkpoint(p *simnet.Proc, mat *Matrix) {
+	prev := m.checkpoints[mat.ID]
 	snaps := make([]*Shard, len(m.servers))
+	if prev != nil {
+		copy(snaps, prev)
+	}
 	g := p.Sim().NewGroup()
 	for s := 0; s < len(m.servers); s++ {
 		s := s
+		srv := mat.srv(s)
 		g.Go("checkpoint", func(cp *simnet.Proc) {
-			sh := mat.shardOn(s)
-			mat.srv(s).Node.Send(cp, m.Cl.Store, sh.bytes(m.Cl.Cost))
+			sh, ok := srv.shards[mat.ID]
+			if !ok || !srv.alive || !srv.Node.Up() {
+				return
+			}
+			full := sh.bytes(m.Cl.Cost)
+			wire := full
+			if m.DeltaCheckpoints && prev != nil && prev[s] != nil {
+				wire = min(m.Cl.Cost.SparseBytes(diffCount(prev[s], sh)), full)
+			}
+			if m.reliableSend(cp, srv.Node, m.Cl.Store, wire) != nil {
+				return // crashed mid-stream: keep the previous snapshot
+			}
 			snaps[s] = sh.clone()
+			m.Recovery.CheckpointBytesWritten += wire
+			m.Recovery.CheckpointBytesFull += full
 		})
 	}
 	g.Wait(p)
 	m.checkpoints[mat.ID] = snaps
 }
 
-// KillServer simulates the crash of server s: all its shards are lost.
-func (m *Master) KillServer(s int) {
+// CrashServer is the environment's fault injection: machine s drops off the
+// network mid-whatever-it-was-doing and its shards are lost. Unlike
+// KillServer the master is NOT told — it still believes the server is alive
+// until the heartbeat detector notices, which is what makes reported
+// detection latency honest.
+func (m *Master) CrashServer(s int) {
 	srv := m.servers[s]
-	srv.alive = false
+	srv.failedAt = m.Cl.Sim.Now()
+	srv.Node.Fail()
 	srv.shards = map[int]*Shard{}
+	srv.applied = map[uint64]bool{}
+	m.Unreliable = true
+	m.Recovery.ServerCrashes++
 }
 
-// RecoverServer starts a replacement for server s and restores every
-// checkpointed matrix shard from the store. Matrices without a checkpoint
-// are reallocated as zeros (their state since the last checkpoint is lost,
-// exactly as in the paper's server-failure model).
+// KillServer simulates the crash of server s with the master informed
+// immediately (the pre-detector manual API): all shards are lost and the
+// server is marked dead, awaiting a manual RecoverServer.
+func (m *Master) KillServer(s int) {
+	m.CrashServer(s)
+	m.servers[s].alive = false
+}
+
+// RecoverServer provisions a replacement machine for server s and restores
+// every checkpointed matrix shard from the store. Matrices without a
+// checkpoint are reallocated as zeros (their state since the last checkpoint
+// is lost, exactly as in the paper's server-failure model). The old machine
+// is fenced first so stale in-flight requests can never land on it, and its
+// traffic counters are carried into the server's stats.
 func (m *Master) RecoverServer(p *simnet.Proc, s int) {
+	start := p.Now()
 	srv := m.servers[s]
+	srv.alive = false
+	old := srv.Node
+	old.Fail()
+	srv.CarrySent += old.BytesSent
+	srv.CarryRecv += old.BytesRecv
+	srv.Node = m.Cl.ReplaceServer(s)
+	srv.shards = map[int]*Shard{}
+	srv.applied = map[uint64]bool{}
+
+	// Sorted matrix order keeps the simulation deterministic (map iteration
+	// order would reshuffle restore-stream interleaving run to run).
+	ids := make([]int, 0, len(m.matrices))
+	for id := range m.matrices {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
 	g := p.Sim().NewGroup()
-	for id, mat := range m.matrices {
-		id, mat := id, mat
+	for _, id := range ids {
+		id, mat := id, m.matrices[id]
 		// The logical shard that physical server s hosts for this matrix.
 		logical := (s - mat.Offset + len(m.servers)) % len(m.servers)
 		g.Go("recover", func(cp *simnet.Proc) {
 			if snaps, ok := m.checkpoints[id]; ok && snaps[logical] != nil {
-				m.Cl.Store.Send(cp, srv.Node, snaps[logical].bytes(m.Cl.Cost))
+				b := snaps[logical].bytes(m.Cl.Cost)
+				m.reliableSend(cp, m.Cl.Store, srv.Node, b)
 				srv.shards[id] = snaps[logical].clone()
+				m.Recovery.RestoreBytes += b
 				return
 			}
 			lo, hi := mat.Part.Range(logical)
 			srv.shards[id] = newShard(mat.Rows, lo, hi)
+			m.Recovery.ZeroRestoredShards++
 		})
 	}
 	g.Wait(p)
 	srv.alive = true
+	srv.failedAt = -1
+	m.Recovery.Recoveries++
+	m.Recovery.RecoverySecSum += p.Now() - start
 }
 
 // Alive reports whether server s holds live state.
@@ -227,7 +346,13 @@ type ServerStats struct {
 func (m *Master) Stats() []ServerStats {
 	out := make([]ServerStats, len(m.servers))
 	for i, srv := range m.servers {
-		st := ServerStats{Server: i, BytesSent: srv.Node.BytesSent, BytesRecv: srv.Node.BytesRecv}
+		// Carry counters cover earlier machine incarnations of this logical
+		// server, keeping the series monotonic across recoveries.
+		st := ServerStats{
+			Server:    i,
+			BytesSent: srv.CarrySent + srv.Node.BytesSent,
+			BytesRecv: srv.CarryRecv + srv.Node.BytesRecv,
+		}
 		for _, sh := range srv.shards {
 			st.Shards++
 			st.Elements += int64(len(sh.Rows) * (sh.Hi - sh.Lo))

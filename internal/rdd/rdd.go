@@ -32,40 +32,99 @@ type Context struct {
 	// MaxAttempts bounds retries per task before the job is aborted.
 	MaxAttempts int
 
-	rng         *linalg.RNG
+	failSeed    uint64
 	nextID      int
 	invalidator []func(executor int)
+	deadExec    []bool
 
 	// TasksLaunched and TaskFailures count scheduling activity for tests and
-	// experiment reports.
-	TasksLaunched int
-	TaskFailures  int
+	// experiment reports; ExecutorCrashes/ExecutorFailures count injected
+	// executor deaths and the task attempts they took down.
+	TasksLaunched    int
+	TaskFailures     int
+	ExecutorCrashes  int
+	ExecutorFailures int
 }
 
 // NewContext creates an application context on cl with failure injection off.
 func NewContext(cl *cluster.Cluster) *Context {
-	return &Context{Cl: cl, MaxAttempts: 4, rng: linalg.NewRNG(0x5eed)}
+	return &Context{Cl: cl, MaxAttempts: 4, failSeed: 0x5eed, deadExec: make([]bool, len(cl.Executors))}
 }
 
-// Seed reseeds the scheduler's failure-injection RNG.
-func (c *Context) Seed(seed uint64) { c.rng = linalg.NewRNG(seed) }
+// Seed reseeds the scheduler's failure injection. Doomed-task draws are
+// derived from (seed, dataset, partition, attempt), so fault placement is a
+// pure function of the task's identity — stable when unrelated stages are
+// added or removed.
+func (c *Context) Seed(seed uint64) { c.failSeed = seed }
+
+// doomedDraw decides whether one task attempt is doomed to fail at its
+// commit point.
+func (c *Context) doomedDraw(dataset, part, attempt int) bool {
+	if c.FailProb <= 0 {
+		return false
+	}
+	mix := c.failSeed ^ (uint64(dataset)*0x9E3779B97F4A7C15 +
+		uint64(part)*0xC2B2AE3D27D4EB4F + uint64(attempt)*0x165667B19E3779F9)
+	return linalg.NewRNG(mix).Float64() < c.FailProb
+}
 
 // NumExecutors returns the number of executor machines.
 func (c *Context) NumExecutors() int { return len(c.Cl.Executors) }
 
-// Owner returns the executor machine that hosts partition part.
-func (c *Context) Owner(part int) *simnet.Node {
-	return c.Cl.Executors[part%len(c.Cl.Executors)]
+// ownerIndex returns the executor slot hosting partition part: its home slot
+// part mod N, or — when that executor is dead — the next live slot in probing
+// order, which is how the scheduler reassigns a lost executor's partitions to
+// the survivors.
+func (c *Context) ownerIndex(part int) int {
+	n := len(c.Cl.Executors)
+	home := part % n
+	for k := 0; k < n; k++ {
+		i := (home + k) % n
+		if !c.deadExec[i] {
+			return i
+		}
+	}
+	panic("rdd: every executor is dead; no machine can host tasks")
 }
 
-// KillExecutor simulates the loss of executor i: every cached partition it
-// hosted is dropped, so the next access recomputes it from lineage, exactly
-// like Spark reloading a lost partition from stable input.
+// Owner returns the executor machine that hosts partition part.
+func (c *Context) Owner(part int) *simnet.Node {
+	return c.Cl.Executors[c.ownerIndex(part)]
+}
+
+// KillExecutor simulates the loss of executor i's *storage*: every cached
+// partition it hosted is dropped, so the next access recomputes it from
+// lineage, exactly like Spark reloading a lost partition from stable input.
+// The machine itself stays schedulable — use CrashExecutor for a full
+// machine death.
 func (c *Context) KillExecutor(i int) {
 	for _, inv := range c.invalidator {
 		inv(i)
 	}
 }
+
+// CrashExecutor kills executor machine i outright, mid-stage: its cached
+// partitions are dropped for lineage recomputation, its in-flight task
+// attempts die (their PS requests abort with a node-down error and the
+// driver reschedules them), and every partition it hosted is reassigned to
+// the surviving executors. The machine is never brought back — as in Spark,
+// the application simply continues on the survivors.
+func (c *Context) CrashExecutor(i int) {
+	if c.deadExec[i] {
+		return
+	}
+	// Invalidate caches against the pre-death partition mapping, so exactly
+	// the partitions this machine was hosting are recomputed.
+	for _, inv := range c.invalidator {
+		inv(i)
+	}
+	c.deadExec[i] = true
+	c.Cl.Executors[i].Fail()
+	c.ExecutorCrashes++
+}
+
+// ExecutorAlive reports whether executor slot i is schedulable.
+func (c *Context) ExecutorAlive(i int) bool { return !c.deadExec[i] }
 
 // RDD is a partitioned, immutable, lazily-evaluated dataset of T.
 type RDD[T any] struct {
@@ -101,7 +160,9 @@ func (r *RDD[T]) Cache() *RDD[T] {
 	r.valid = make([]bool, r.parts)
 	r.ctx.invalidator = append(r.ctx.invalidator, func(executor int) {
 		for part := 0; part < r.parts; part++ {
-			if part%len(r.ctx.Cl.Executors) == executor {
+			// ownerIndex (not part mod N) so partitions remapped onto this
+			// executor by an earlier crash are also invalidated.
+			if r.ctx.ownerIndex(part) == executor {
 				r.valid[part] = false
 				r.data[part] = nil
 			}

@@ -1,6 +1,7 @@
 package rdd
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/linalg"
@@ -26,18 +27,28 @@ type TaskContext struct {
 type taskFailed struct{}
 
 // Charge blocks the task for work abstract units of computation on one of
-// its machine's cores.
-func (tc *TaskContext) Charge(work float64) { tc.Node.Compute(tc.P, work) }
+// its machine's cores. A task whose machine has crashed aborts instead — the
+// scheduler will rerun it on a survivor.
+func (tc *TaskContext) Charge(work float64) {
+	if !tc.Node.Up() {
+		panic(taskFailed{})
+	}
+	tc.Node.Compute(tc.P, work)
+}
 
 // Commit marks the point after which the task performs externally visible
 // side effects (pushing gradients to parameter servers, emitting results).
 // Under failure injection a doomed attempt aborts here, so a task's side
 // effects happen exactly once even when attempts are retried — mirroring the
 // paper's observation that restart is safe because "the push operator is the
-// last operation for a task".
+// last operation for a task". A task whose machine crashed under it also
+// aborts here, before any effect escapes the dead machine.
 func (tc *TaskContext) Commit() {
 	if tc.doomed {
 		tc.doomed = false
+		panic(taskFailed{})
+	}
+	if !tc.Node.Up() {
 		panic(taskFailed{})
 	}
 }
@@ -66,32 +77,42 @@ func runTasks[T, U any](p *simnet.Proc, r *RDD[T], resultBytes func(U) float64, 
 	g := p.Sim().NewGroup()
 	for part := 0; part < r.parts; part++ {
 		part := part
-		node := ctx.Owner(part)
 		g.Go(fmt.Sprintf("task-%d/%d", r.id, part), func(tp *simnet.Proc) {
 			tp.Sleep(ctx.Cl.Cost.TaskLaunchSec)
+			var node *simnet.Node
 			for attempt := 1; ; attempt++ {
 				if attempt > ctx.MaxAttempts {
 					panic(fmt.Sprintf("rdd: task %d of dataset %d failed %d attempts", part, r.id, ctx.MaxAttempts))
 				}
+				// Resolve the owner per attempt: a crashed executor's
+				// partitions reschedule onto survivors.
+				node = ctx.Owner(part)
 				ctx.TasksLaunched++
 				tc := &TaskContext{Ctx: ctx, P: tp, Node: node, Part: part, Attempt: attempt}
-				if ctx.FailProb > 0 && ctx.rng.Float64() < ctx.FailProb {
-					tc.doomed = true
-				}
+				tc.doomed = ctx.doomedDraw(r.id, part, attempt)
 				res, ok := runAttempt(tc, part, r, body)
 				if ok {
 					out[part] = res
 					break
 				}
-				ctx.TaskFailures++
+				if !node.Up() {
+					ctx.ExecutorFailures++
+				} else {
+					ctx.TaskFailures++
+				}
 				// Restart latency: the driver notices the failure and
 				// reschedules the task.
 				tp.Sleep(ctx.Cl.Cost.TaskLaunchSec)
 			}
-			// Report completion to the driver.
-			node.Send(tp, ctx.Cl.Driver, statusBytes)
-			if resultBytes != nil {
-				node.Send(tp, ctx.Cl.Driver, resultBytes(out[part]))
+			// Report completion to the driver. If the machine died in the
+			// instant after the task committed, the status ride is skipped
+			// (the driver's completion bookkeeping is metadata; re-running a
+			// committed task would double its side effects).
+			if node.Up() {
+				node.Send(tp, ctx.Cl.Driver, statusBytes)
+				if resultBytes != nil {
+					node.Send(tp, ctx.Cl.Driver, resultBytes(out[part]))
+				}
 			}
 		})
 	}
@@ -100,12 +121,17 @@ func runTasks[T, U any](p *simnet.Proc, r *RDD[T], resultBytes func(U) float64, 
 }
 
 // runAttempt executes one attempt of a task body, converting the taskFailed
-// sentinel into a clean retry while letting real panics (and the simulation's
-// shutdown unwind) propagate.
+// sentinel — and the node-down errors the PS client layer panics with when
+// the task's machine crashes under it — into a clean retry, while letting
+// real panics (and the simulation's shutdown unwind) propagate.
 func runAttempt[T, U any](tc *TaskContext, part int, r *RDD[T], body func(tc *TaskContext, part int, rows []T) U) (res U, ok bool) {
 	defer func() {
 		if rec := recover(); rec != nil {
 			if _, failed := rec.(taskFailed); failed {
+				ok = false
+				return
+			}
+			if err, isErr := rec.(error); isErr && errors.Is(err, simnet.ErrNodeDown) && !tc.Node.Up() {
 				ok = false
 				return
 			}

@@ -22,6 +22,9 @@ type Node struct {
 	cpu  *Resource
 	rate float64 // abstract work units per second per core
 
+	// down marks a crashed machine; see Fail/Restore/Up in fault.go.
+	down bool
+
 	// Counters for observability; virtual bytes, not host bytes.
 	BytesSent float64
 	BytesRecv float64

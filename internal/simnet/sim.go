@@ -38,6 +38,7 @@ type Sim struct {
 	stopped   bool
 	processed uint64 // events delivered so far (observability)
 	failure   any    // first panic raised by a user process, re-raised by Run
+	chaos     *Chaos // optional link-fault injection, see fault.go
 }
 
 // New creates an empty simulation at virtual time zero.

@@ -34,6 +34,7 @@ import (
 	"repro/internal/ml/gbdt"
 	"repro/internal/ml/lda"
 	"repro/internal/ml/lr"
+	"repro/internal/ps"
 	"repro/internal/rdd"
 	"repro/internal/simnet"
 )
@@ -55,6 +56,32 @@ type Vector = dcv.Vector
 
 // Trace is a convergence curve (virtual time vs. metric).
 type Trace = core.Trace
+
+// FaultPlan schedules environment-injected failures for a run: machine
+// crashes at virtual times plus ambient message loss and delay. Assign one
+// to Options.Faults; the engine then runs the chaos controller and the
+// heartbeat failure detector alongside the job, and crashed servers are
+// detected and recovered automatically.
+type FaultPlan = core.FaultPlan
+
+// CrashEvent is one scheduled machine crash inside a FaultPlan.
+type CrashEvent = core.CrashEvent
+
+// DetectorConfig tunes the master's heartbeat failure detector
+// (Options.Detector).
+type DetectorConfig = ps.DetectorConfig
+
+// RetryConfig tunes the PS client's retry/timeout/backoff policy
+// (Options.RPC).
+type RetryConfig = ps.RetryConfig
+
+// RecoveryStats reports the self-healing subsystem's metrics for a run; see
+// Engine.RecoveryReport.
+type RecoveryStats = ps.RecoveryStats
+
+// ErrServerDown is the typed error surfaced (wrapped) when a parameter
+// server stays unreachable past the retry budget.
+var ErrServerDown = ps.ErrServerDown
 
 // Instance is one sparse labelled training example.
 type Instance = data.Instance

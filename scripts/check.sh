@@ -1,0 +1,10 @@
+#!/bin/sh
+# Tier-1 gate: vet, build, and the full test suite under the race detector.
+# Every PR must leave this green (see ROADMAP.md).
+set -eux
+
+cd "$(dirname "$0")/.."
+
+go vet ./...
+go build ./...
+go test -race ./...
