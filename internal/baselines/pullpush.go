@@ -42,12 +42,13 @@ func (a *PullPushAdam) Init(p *simnet.Proc, e *core.Engine, w *dcv.Vector) error
 	if a.velocity, err = w.Derive(); err != nil {
 		return err
 	}
-	a.velocity.Fill(p, e.Driver(), 0)
+	if err := a.velocity.TryFill(p, e.Driver(), 0); err != nil {
+		return err
+	}
 	if a.square, err = w.Derive(); err != nil {
 		return err
 	}
-	a.square.Fill(p, e.Driver(), 0)
-	return nil
+	return a.square.TryFill(p, e.Driver(), 0)
 }
 
 // Step performs the pull/push-only realization of equation (1), matching the

@@ -132,7 +132,7 @@ func TestRegistryComplete(t *testing.T) {
 		"ablation-colocation", "ablation-sparsepull", "ablation-servers", "ablation-batching",
 		"ablation-checkpoint",
 		"ext-treeagg", "ext-mllibstar", "ext-ssp", "ext-fm", "ext-node2vec",
-		"ext-recovery", "ext-chaos",
+		"ext-recovery", "ext-chaos", "ext-fusion",
 	}
 	for _, id := range want {
 		if _, ok := ByID(id); !ok {
@@ -141,6 +141,37 @@ func TestRegistryComplete(t *testing.T) {
 	}
 	if len(All()) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(All()), len(want))
+	}
+}
+
+func TestExtFusionShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape checks run full experiments")
+	}
+	res := runExtFusion(Opts{Quick: true})
+	// Rows come in unfused/fused pairs per workload.
+	for i := 0; i+1 < len(res.Rows); i += 2 {
+		unfused, fused := res.Rows[i], res.Rows[i+1]
+		if unfused[0] != fused[0] || unfused[1] != "unfused" || fused[1] != "fused" {
+			t.Fatalf("row pairing broken: %v / %v", unfused, fused)
+		}
+		ru, rf := parseNum(t, unfused[2]), parseNum(t, fused[2])
+		if rf >= ru {
+			t.Fatalf("%s: fused RPCs %v not below unfused %v", fused[0], rf, ru)
+		}
+		if fu := parseNum(t, fused[3]); fu == 0 {
+			t.Fatalf("%s: fused run reported no fused ops", fused[0])
+		}
+		tu, tf := parseNum(t, unfused[5]), parseNum(t, fused[5])
+		if tf >= tu {
+			t.Fatalf("%s: fused time %v not below unfused %v", fused[0], tf, tu)
+		}
+		// The LR family replays the exact op sequence per server, so the
+		// loss must agree to the rendered digit; DeepWalk's pipeline
+		// reorders across pairs and only tracks approximately.
+		if strings.HasPrefix(unfused[0], "LR") && unfused[6] != fused[6] {
+			t.Fatalf("%s: fused loss %q != unfused %q", fused[0], fused[6], unfused[6])
+		}
 	}
 }
 

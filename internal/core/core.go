@@ -331,6 +331,13 @@ type UtilizationReport struct {
 	ExecutorCoreSec float64
 	ServerCoreSec   float64
 	Events          uint64
+	// RPC-layer counters from the PS master: logical shard calls, raw
+	// attempts (> RPCCalls under chaos retries), ops that rode a fused
+	// request, and dedup entries retired by the acknowledgement watermark.
+	RPCCalls    uint64
+	RPCAttempts uint64
+	FusedOps    uint64
+	DedupPruned uint64
 }
 
 // Report gathers the utilization counters from the cluster.
@@ -340,6 +347,10 @@ func (e *Engine) Report() UtilizationReport {
 		DriverSentMB: e.Cluster.Driver.BytesSent / mb,
 		DriverRecvMB: e.Cluster.Driver.BytesRecv / mb,
 		Events:       e.Sim.EventsProcessed(),
+		RPCCalls:     e.PS.Net.Calls,
+		RPCAttempts:  e.PS.Net.Attempts,
+		FusedOps:     e.PS.Net.FusedOps,
+		DedupPruned:  e.PS.Net.DedupPruned,
 	}
 	for _, n := range e.Cluster.Executors {
 		r.ExecutorSentMB += n.BytesSent / mb
@@ -356,7 +367,7 @@ func (e *Engine) Report() UtilizationReport {
 
 func (r UtilizationReport) String() string {
 	return fmt.Sprintf(
-		"driver %.1f/%.1f MB out/in, executors %.1f/%.1f MB (%.2f core-s), servers %.1f/%.1f MB (%.2f core-s), %d events",
+		"driver %.1f/%.1f MB out/in, executors %.1f/%.1f MB (%.2f core-s), servers %.1f/%.1f MB (%.2f core-s), %d events, %d RPCs (%d attempts, %d fused ops)",
 		r.DriverSentMB, r.DriverRecvMB, r.ExecutorSentMB, r.ExecutorRecvMB, r.ExecutorCoreSec,
-		r.ServerSentMB, r.ServerRecvMB, r.ServerCoreSec, r.Events)
+		r.ServerSentMB, r.ServerRecvMB, r.ServerCoreSec, r.Events, r.RPCCalls, r.RPCAttempts, r.FusedOps)
 }

@@ -45,6 +45,13 @@ func (v *Vector) zipInvoke(p *simnet.Proc, from *simnet.Node, others []*Vector,
 		if ov.mat.Dim != v.mat.Dim {
 			return fmt.Errorf("dcv: dimension mismatch: %d vs %d", v.mat.Dim, ov.mat.Dim)
 		}
+		// The shuffle path pairs logical shard s of the operand with logical
+		// shard s of the target, so the partitioners must carve the dimension
+		// identically — otherwise the slices are misaligned (or out of range).
+		if ov.mat != v.mat && !ov.mat.Part.Same(v.mat.Part) {
+			return fmt.Errorf("dcv: operand %d spans %d servers where the target spans %d: %w",
+				i, ov.mat.Part.Servers, v.mat.Part.Servers, ErrPartitionMismatch)
+		}
 	}
 	cost := v.sess.Master.Cl.Cost
 	errs := make([]error, v.mat.Part.Servers)
@@ -170,11 +177,13 @@ func (v *Vector) elementwise(p *simnet.Proc, from *simnet.Node, other *Vector, o
 	})
 }
 
-// Scale multiplies every element by alpha, server-side.
-func (v *Vector) Scale(p *simnet.Proc, from *simnet.Node, alpha float64) {
+// TryScale multiplies every element by alpha, server-side, returning an error
+// (wrapping ps.ErrServerDown or simnet.ErrNodeDown) when a shard stays
+// unreachable — in that case the vector may be partially scaled, exactly the
+// partial state the error reports.
+func (v *Vector) TryScale(p *simnet.Proc, from *simnet.Node, alpha float64) error {
 	cost := v.sess.Master.Cl.Cost
-	// No operands to align and no possible error.
-	_ = v.zipInvoke(p, from, nil, 0, cost.FlopsPerElem, func(sp ShardSpan) {
+	return v.zipInvoke(p, from, nil, 0, cost.FlopsPerElem, func(sp ShardSpan) {
 		a := sp.Rows[0]
 		for i := range a {
 			a[i] *= alpha
@@ -182,21 +191,45 @@ func (v *Vector) Scale(p *simnet.Proc, from *simnet.Node, alpha float64) {
 	})
 }
 
-// Fill sets every element to c, server-side, and returns v for chaining —
-// the paper's `DCV.derive(weight).fill(0.0)` idiom.
-func (v *Vector) Fill(p *simnet.Proc, from *simnet.Node, c float64) *Vector {
+// Scale is TryScale panicking on exhausted retries, mirroring the plain/Try
+// split of the PS client's row operators.
+func (v *Vector) Scale(p *simnet.Proc, from *simnet.Node, alpha float64) {
+	if err := v.TryScale(p, from, alpha); err != nil {
+		panic(err)
+	}
+}
+
+// TryFill sets every element to c, server-side, returning an error when a
+// shard stays unreachable (the vector may then be partially filled).
+func (v *Vector) TryFill(p *simnet.Proc, from *simnet.Node, c float64) error {
 	cost := v.sess.Master.Cl.Cost
-	_ = v.zipInvoke(p, from, nil, 0, cost.FlopsPerElem, func(sp ShardSpan) {
+	return v.zipInvoke(p, from, nil, 0, cost.FlopsPerElem, func(sp ShardSpan) {
 		a := sp.Rows[0]
 		for i := range a {
 			a[i] = c
 		}
 	})
+}
+
+// Fill sets every element to c, server-side, and returns v for chaining —
+// the paper's `DCV.derive(weight).fill(0.0)` idiom. It panics on exhausted
+// retries; fault-tolerant callers use TryFill.
+func (v *Vector) Fill(p *simnet.Proc, from *simnet.Node, c float64) *Vector {
+	if err := v.TryFill(p, from, c); err != nil {
+		panic(err)
+	}
 	return v
 }
 
+// TryZero resets the vector to zero server-side, returning an error when a
+// shard stays unreachable.
+func (v *Vector) TryZero(p *simnet.Proc, from *simnet.Node) error {
+	return v.TryFill(p, from, 0)
+}
+
 // Zero resets the vector to zero server-side — `gradient.zero()` in the
-// paper's training loops.
+// paper's training loops. It panics on exhausted retries; fault-tolerant
+// callers use TryZero.
 func (v *Vector) Zero(p *simnet.Proc, from *simnet.Node) { v.Fill(p, from, 0) }
 
 // ZipMap runs fn over every shard with all operand slices aligned in server

@@ -36,6 +36,13 @@ var ErrNoFreeRows = errors.New("dcv: no free rows left in the raw matrix; create
 // share a raw matrix (created via Derive) when they do not.
 var ErrNotColocated = errors.New("dcv: vectors are not dimension co-located; create one with Derive from the other")
 
+// ErrPartitionMismatch is returned by column operators whose operand lives in
+// a matrix with an incompatible partitioning (different server count, hence
+// different shard ranges): the shuffle path would align slices of different
+// widths. Operands must share the target's column layout even when they are
+// not co-located.
+var ErrPartitionMismatch = errors.New("dcv: operand partitioning incompatible with target")
+
 // Session binds DCV bookkeeping to one parameter-server application: it
 // tracks how many rows of each raw matrix are in use so Derive can hand out
 // free rows.

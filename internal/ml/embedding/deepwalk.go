@@ -63,7 +63,12 @@ type Config struct {
 	// the reliable store every that-many iterations, bounding what a server
 	// crash can lose (paper Section 5.3).
 	CheckpointEvery int
-	Seed            uint64
+	// NoFusion disables the fused request pipeline in ModeDCV: every pair
+	// issues its dot and update fan-outs separately instead of shipping the
+	// previous pair's update inside the next pair's dot request. Fusion is
+	// the default; the ext-fusion experiment flips this switch.
+	NoFusion bool
+	Seed     uint64
 }
 
 // DefaultConfig returns the paper's Table 4 values with an embedding
@@ -124,6 +129,7 @@ func Train(p *simnet.Proc, e *core.Engine, pairs *rdd.RDD[data.Pair], vertices i
 			var lossSum float64
 			var count int
 			rng := tc.RNG()
+			worker := &dcvWorker{mat: mat, cfg: cfg}
 			for _, pr := range rows {
 				contexts := make([]int, 1+cfg.Negatives)
 				labels := make([]float64, 1+cfg.Negatives)
@@ -139,13 +145,14 @@ func Train(p *simnet.Proc, e *core.Engine, pairs *rdd.RDD[data.Pair], vertices i
 				}
 				var loss float64
 				if cfg.Mode == ModeDCV {
-					loss = dcvStep(tc, mat, int(pr.U), contexts, labels, cfg)
+					loss = worker.step(tc, int(pr.U), contexts, labels)
 				} else {
 					loss = pullPushStep(tc, mat, int(pr.U), contexts, labels, cfg)
 				}
 				lossSum += loss
 				count++
 			}
+			worker.flush(tc)
 			return [2]float64{lossSum, float64(count)}
 		})
 		var lossSum, count float64
@@ -221,33 +228,57 @@ func initEmbeddings(p *simnet.Proc, e *core.Engine, mat *ps.Matrix, vertices int
 	g.Wait(p)
 }
 
-// dcvStep performs one skip-gram-with-negatives update entirely server-side:
+// dcvWorker runs the server-side DeepWalk path for one partition. With fusion
+// on (the default) it pipelines requests: pair k's update op is held back and
+// shipped inside pair k+1's dot request as one fused program per server, so
+// steady-state costs ONE fan-out per pair instead of two. The server executes
+// the program in order — update first, then dots — so the dots observe exactly
+// the post-update state they would have seen unfused. flush ships the last
+// held-back update at partition end.
+type dcvWorker struct {
+	mat     *ps.Matrix
+	cfg     Config
+	pending *ps.InvokeOp // previous pair's update, awaiting the next request
+}
+
+// step performs one skip-gram-with-negatives update entirely server-side:
 // a batched dot (one request per server, partial dots back) followed by a
 // batched axpy-style update (gradient scalars out, no vector data on the
 // wire). Matches the paper's Figure 5/6 flow with negative-sample batching.
-func dcvStep(tc *rdd.TaskContext, mat *ps.Matrix, center int, contexts []int, labels []float64, cfg Config) float64 {
+func (dw *dcvWorker) step(tc *rdd.TaskContext, center int, contexts []int, labels []float64) float64 {
 	cost := tc.Ctx.Cl.Cost
+	mat, cfg := dw.mat, dw.cfg
 	nctx := len(contexts)
 	// Server-side dots: request carries the row ids, response the partials.
 	// Each server assigns into its own slot (never accumulates into shared
 	// host memory) so a retried invocation after a crash stays idempotent.
 	partsByServer := make([][]float64, mat.Part.Servers)
-	mat.Invoke(tc.P, tc.Node, 4*float64(1+nctx), 8*float64(nctx),
-		func(w int) float64 { return cost.ElemWork(w * nctx) },
-		func(s int, sh *ps.Shard) float64 {
-			part := make([]float64, nctx)
-			u := sh.Rows[center]
-			for j, ctx := range contexts {
-				c := sh.Rows[ctx]
-				var partial float64
-				for i := range u {
-					partial += u[i] * c[i]
-				}
-				part[j] = partial
+	dotReq, dotResp := 4*float64(1+nctx), 8*float64(nctx)
+	dotWork := func(w int) float64 { return cost.ElemWork(w * nctx) }
+	dotFn := func(s int, sh *ps.Shard) float64 {
+		part := make([]float64, nctx)
+		u := sh.Rows[center]
+		for j, ctx := range contexts {
+			c := sh.Rows[ctx]
+			var partial float64
+			for i := range u {
+				partial += u[i] * c[i]
 			}
-			partsByServer[s] = part
-			return 0
-		})
+			part[j] = partial
+		}
+		partsByServer[s] = part
+		return 0
+	}
+	if dw.pending != nil {
+		up := *dw.pending
+		dw.pending = nil
+		mat.InvokeFused(tc.P, tc.Node, []ps.InvokeOp{up, {
+			ReqBytes: dotReq, RespBytes: dotResp, Work: dotWork, Fn: dotFn,
+		}})
+	} else {
+		// No held-back update: a pure read, outside dedup tracking.
+		mat.InvokeRead(tc.P, tc.Node, dotReq, dotResp, dotWork, dotFn)
+	}
 	dots := make([]float64, nctx)
 	for _, part := range partsByServer {
 		for j, x := range part {
@@ -265,9 +296,11 @@ func dcvStep(tc *rdd.TaskContext, mat *ps.Matrix, center int, contexts []int, la
 	tc.Charge(cost.ElemWork(nctx))
 	// Server-side update: ship only the gradient scalars; every server
 	// updates its stretch of the center and context rows locally.
-	mat.Invoke(tc.P, tc.Node, 4*float64(1+nctx)+8*float64(nctx), 0,
-		func(w int) float64 { return cost.ElemWork(w * nctx * 2) },
-		func(s int, sh *ps.Shard) float64 {
+	update := ps.InvokeOp{
+		ReqBytes: 4*float64(1+nctx) + 8*float64(nctx),
+		Work:     func(w int) float64 { return cost.ElemWork(w * nctx * 2) },
+		Mutates:  true,
+		Fn: func(s int, sh *ps.Shard) float64 {
 			// Read-then-apply: all gradients are computed against the
 			// pre-update vectors, so a context sampled twice in one group
 			// (possible with negative sampling) receives two additive
@@ -298,8 +331,24 @@ func dcvStep(tc *rdd.TaskContext, mat *ps.Matrix, center int, contexts []int, la
 				u[i] += du[i]
 			}
 			return 0
-		})
+		},
+	}
+	if cfg.NoFusion {
+		mat.Invoke(tc.P, tc.Node, update.ReqBytes, 0, update.Work, update.Fn)
+	} else {
+		dw.pending = &update
+	}
 	return loss
+}
+
+// flush ships the last held-back update at partition end.
+func (dw *dcvWorker) flush(tc *rdd.TaskContext) {
+	if dw.pending == nil {
+		return
+	}
+	up := *dw.pending
+	dw.pending = nil
+	dw.mat.Invoke(tc.P, tc.Node, up.ReqBytes, 0, up.Work, up.Fn)
 }
 
 // pullPushStep is the PS-DeepWalk baseline: pull all vectors, update locally,

@@ -39,12 +39,13 @@ func (f *FTRL) Init(p *simnet.Proc, e *core.Engine, w *dcv.Vector) error {
 	if f.z, err = w.Derive(); err != nil {
 		return err
 	}
-	f.z.Fill(p, e.Driver(), 0)
+	if err := f.z.TryFill(p, e.Driver(), 0); err != nil {
+		return err
+	}
 	if f.n, err = w.Derive(); err != nil {
 		return err
 	}
-	f.n.Fill(p, e.Driver(), 0)
-	return nil
+	return f.n.TryFill(p, e.Driver(), 0)
 }
 
 // Step applies the FTRL-Proximal update server-side. Using the mean batch
@@ -55,28 +56,39 @@ func (f *FTRL) Init(p *simnet.Proc, e *core.Engine, w *dcv.Vector) error {
 //	n    += g²
 //	w     = 0                                     if |z| <= lambda1
 //	w     = −(z − sign(z)·lambda1) / ((beta+sqrt(n))/alpha + lambda2)  otherwise
-func (f *FTRL) Step(p *simnet.Proc, e *core.Engine, w, grad *dcv.Vector, iter, batchSize int) error {
+func (f *FTRL) update(batchSize int) func(lo int, rows [][]float64) {
 	scale := 1.0 / float64(batchSize)
 	alpha, beta, l1, l2 := f.Alpha, f.Beta, f.Lambda1, f.Lambda2
-	return w.ZipMap(p, e.Driver(), e.Cluster.Cost.FlopsPerElem*4,
-		func(lo int, rows [][]float64) {
-			wt, z, n, g := rows[0], rows[1], rows[2], rows[3]
-			for i := range wt {
-				gi := g[i] * scale
-				sigma := (math.Sqrt(n[i]+gi*gi) - math.Sqrt(n[i])) / alpha
-				z[i] += gi - sigma*wt[i]
-				n[i] += gi * gi
-				if math.Abs(z[i]) <= l1 {
-					wt[i] = 0
-					continue
-				}
-				sign := 1.0
-				if z[i] < 0 {
-					sign = -1
-				}
-				wt[i] = -(z[i] - sign*l1) / ((beta+math.Sqrt(n[i]))/alpha + l2)
+	return func(lo int, rows [][]float64) {
+		wt, z, n, g := rows[0], rows[1], rows[2], rows[3]
+		for i := range wt {
+			gi := g[i] * scale
+			sigma := (math.Sqrt(n[i]+gi*gi) - math.Sqrt(n[i])) / alpha
+			z[i] += gi - sigma*wt[i]
+			n[i] += gi * gi
+			if math.Abs(z[i]) <= l1 {
+				wt[i] = 0
+				continue
 			}
-		}, f.z, f.n, grad)
+			sign := 1.0
+			if z[i] < 0 {
+				sign = -1
+			}
+			wt[i] = -(z[i] - sign*l1) / ((beta+math.Sqrt(n[i]))/alpha + l2)
+		}
+	}
 }
 
-var _ Optimizer = (*FTRL)(nil)
+func (f *FTRL) Step(p *simnet.Proc, e *core.Engine, w, grad *dcv.Vector, iter, batchSize int) error {
+	return w.ZipMap(p, e.Driver(), e.Cluster.Cost.FlopsPerElem*4, f.update(batchSize), f.z, f.n, grad)
+}
+
+// RecordStep records the same 4-vector zip into a fused batch.
+func (f *FTRL) RecordStep(e *core.Engine, b *dcv.Batch, w, grad *dcv.Vector, iter, batchSize int) {
+	b.ZipMap(w, e.Cluster.Cost.FlopsPerElem*4, f.update(batchSize), f.z, f.n, grad)
+}
+
+var (
+	_ Optimizer      = (*FTRL)(nil)
+	_ FusedOptimizer = (*FTRL)(nil)
+)

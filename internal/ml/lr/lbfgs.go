@@ -41,15 +41,22 @@ func TrainLBFGS(p *simnet.Proc, e *core.Engine, dataset *rdd.RDD[data.Instance],
 		return nil, err
 	}
 	driver := e.Driver()
-	grad := w.MustDerive().Fill(p, driver, 0)
-	prevW := w.MustDerive().Fill(p, driver, 0)
-	prevG := w.MustDerive().Fill(p, driver, 0)
-	q := w.MustDerive().Fill(p, driver, 0)
+	grad := w.MustDerive()
+	prevW := w.MustDerive()
+	prevG := w.MustDerive()
+	q := w.MustDerive()
 	sHist := make([]*dcv.Vector, m)
 	yHist := make([]*dcv.Vector, m)
+	// All 4+2m working vectors are co-located with w, so one fused request per
+	// server zeroes the lot instead of a fan-out per vector.
+	init := dcv.NewBatch(w).Zero(grad).Zero(prevW).Zero(prevG).Zero(q)
 	for i := 0; i < m; i++ {
-		sHist[i] = w.MustDerive().Fill(p, driver, 0)
-		yHist[i] = w.MustDerive().Fill(p, driver, 0)
+		sHist[i] = w.MustDerive()
+		yHist[i] = w.MustDerive()
+		init.Zero(sHist[i]).Zero(yHist[i])
+	}
+	if err := init.Run(p, driver); err != nil {
+		return nil, err
 	}
 	rho := make([]float64, m)
 	alpha := make([]float64, m)
@@ -95,7 +102,9 @@ func TrainLBFGS(p *simnet.Proc, e *core.Engine, dataset *rdd.RDD[data.Instance],
 			total += st.Count
 		}
 		if total > 0 {
-			grad.Scale(p, driver, 1/float64(total))
+			if err := grad.TryScale(p, driver, 1/float64(total)); err != nil {
+				panic(err)
+			}
 			return lossSum / float64(total)
 		}
 		return 0
@@ -117,31 +126,36 @@ func TrainLBFGS(p *simnet.Proc, e *core.Engine, dataset *rdd.RDD[data.Instance],
 	for it := 0; it < cfg.Iterations; it++ {
 		loss := fullGradient()
 		trace.Add(p.Now(), loss)
+		// The whole bookkeeping block — curvature pair s = w − prevW,
+		// y = grad − prevG, the <s, y> reduction, and the prevW/prevG/q
+		// snapshots — touches only co-located vectors, so it fuses into one
+		// request per server. Ops execute in recorded order on each shard,
+		// which keeps the snapshot copies after the subtractions they feed.
+		b := dcv.NewBatch(w)
+		var sy *dcv.Scalar
+		slot := next
 		if it > 0 {
-			// Record curvature pair: s = w - prevW, y = grad - prevG.
-			slot := next
 			next = (next + 1) % m
 			if pairs < m {
 				pairs++
 			}
-			must(sHist[slot].CopyFrom(p, driver, w))
-			must(sHist[slot].SubVec(p, driver, prevW))
-			must(yHist[slot].CopyFrom(p, driver, grad))
-			must(yHist[slot].SubVec(p, driver, prevG))
-			sy := dot(sHist[slot], yHist[slot])
-			if sy <= 1e-12 {
+			b.CopyFrom(sHist[slot], w).SubVec(sHist[slot], prevW)
+			b.CopyFrom(yHist[slot], grad).SubVec(yHist[slot], prevG)
+			sy = b.Dot(sHist[slot], yHist[slot])
+		}
+		b.CopyFrom(prevW, w).CopyFrom(prevG, grad)
+		// Two-loop recursion over co-located DCVs; q starts at the gradient.
+		b.CopyFrom(q, grad)
+		must(b.Run(p, driver))
+		if it > 0 {
+			if sy.Value() <= 1e-12 {
 				// Skip non-curvature pairs (can happen with fixed steps).
 				pairs--
 				next = slot
 			} else {
-				rho[slot] = 1 / sy
+				rho[slot] = 1 / sy.Value()
 			}
 		}
-		must(prevW.CopyFrom(p, driver, w))
-		must(prevG.CopyFrom(p, driver, grad))
-
-		// Two-loop recursion over co-located DCVs.
-		must(q.CopyFrom(p, driver, grad))
 		for k := 0; k < pairs; k++ {
 			i := (next - 1 - k + 2*m) % m
 			alpha[i] = rho[i] * dot(sHist[i], q)
@@ -151,7 +165,7 @@ func TrainLBFGS(p *simnet.Proc, e *core.Engine, dataset *rdd.RDD[data.Instance],
 			newest := (next - 1 + m) % m
 			yy := dot(yHist[newest], yHist[newest])
 			if yy > 1e-12 {
-				q.Scale(p, driver, 1/(rho[newest]*yy))
+				must(q.TryScale(p, driver, 1/(rho[newest]*yy)))
 			}
 		}
 		for k := pairs - 1; k >= 0; k-- {

@@ -58,6 +58,13 @@ type Config struct {
 	// zeros (fine-tuning / continued training). Must have length dim.
 	WarmStart []float64
 
+	// NoFusion disables operator fusion: the optimizer step and the gradient
+	// reset go out as separate per-operator fan-outs instead of one fused
+	// request per server per iteration. The math is identical either way
+	// (fusion preserves op order per server); the ext-fusion benchmark uses
+	// this switch for its apples-to-apples comparison.
+	NoFusion bool
+
 	Seed uint64
 }
 
@@ -161,6 +168,15 @@ type Optimizer interface {
 	Name() string
 }
 
+// FusedOptimizer is implemented by optimizers whose Step can be recorded into
+// a dcv.Batch. Train uses it to coalesce the model update and the gradient
+// reset into one fused request per server per iteration instead of separate
+// per-operator fan-outs; every built-in optimizer implements it.
+type FusedOptimizer interface {
+	// RecordStep records the same update Step would apply into b.
+	RecordStep(e *core.Engine, b *dcv.Batch, w, grad *dcv.Vector, iter, batchSize int)
+}
+
 // Train runs mini-batch training of the configured objective on PS2: the
 // execution flow of the paper's Section 3.3 / Figure 3.
 func Train(p *simnet.Proc, e *core.Engine, dataset *rdd.RDD[data.Instance], dim int, cfg Config, opt Optimizer) (*Model, error) {
@@ -189,7 +205,9 @@ func Train(p *simnet.Proc, e *core.Engine, dataset *rdd.RDD[data.Instance], dim 
 	if err != nil {
 		return nil, err
 	}
-	grad.Zero(p, e.Driver())
+	if err := grad.TryZero(p, e.Driver()); err != nil {
+		return nil, err
+	}
 
 	trace := &core.Trace{Name: "PS2-" + opt.Name()}
 	cost := e.Cluster.Cost
@@ -238,10 +256,25 @@ func Train(p *simnet.Proc, e *core.Engine, dataset *rdd.RDD[data.Instance], dim 
 			continue
 		}
 		// (4) Model update: server-side computation across co-located DCVs.
-		if err := opt.Step(p, e, weight, grad, it+1, count); err != nil {
-			return nil, err
+		// With fusion (the default) the optimizer step and the gradient
+		// reset ride one request per server; the per-server op order (step,
+		// then zero) matches the unfused sequence, so the trained model is
+		// bit-identical.
+		if fopt, ok := opt.(FusedOptimizer); ok && !cfg.NoFusion {
+			b := dcv.NewBatch(weight)
+			fopt.RecordStep(e, b, weight, grad, it+1, count)
+			b.Zero(grad)
+			if err := b.Run(p, e.Driver()); err != nil {
+				return nil, err
+			}
+		} else {
+			if err := opt.Step(p, e, weight, grad, it+1, count); err != nil {
+				return nil, err
+			}
+			if err := grad.TryZero(p, e.Driver()); err != nil {
+				return nil, err
+			}
 		}
-		grad.Zero(p, e.Driver())
 		trace.Add(p.Now(), lossSum/float64(count))
 		if cfg.CheckpointEvery > 0 && (it+1)%cfg.CheckpointEvery == 0 {
 			e.PS.Checkpoint(p, weight.Matrix())

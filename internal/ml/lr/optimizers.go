@@ -33,6 +33,15 @@ func (s *SGD) Step(p *simnet.Proc, e *core.Engine, w, grad *dcv.Vector, iter, ba
 	return w.Axpy(p, e.Driver(), -eta/float64(batchSize), grad)
 }
 
+// RecordStep records the same axpy into a fused batch.
+func (s *SGD) RecordStep(e *core.Engine, b *dcv.Batch, w, grad *dcv.Vector, iter, batchSize int) {
+	eta := s.LearningRate
+	if s.Decay {
+		eta /= math.Sqrt(float64(iter))
+	}
+	b.Axpy(w, -eta/float64(batchSize), grad)
+}
+
 // Adam implements the paper's Section 3.1 Example 1: the model is four
 // co-located DCVs (weight, first-moment, second-moment, gradient) and the
 // update is one server-side zip over them — Figure 3's
@@ -62,32 +71,43 @@ func (a *Adam) Init(p *simnet.Proc, e *core.Engine, w *dcv.Vector) error {
 	if a.velocity, err = w.Derive(); err != nil {
 		return err
 	}
-	a.velocity.Fill(p, e.Driver(), 0)
+	if err := a.velocity.TryFill(p, e.Driver(), 0); err != nil {
+		return err
+	}
 	if a.square, err = w.Derive(); err != nil {
 		return err
 	}
-	a.square.Fill(p, e.Driver(), 0)
-	return nil
+	return a.square.TryFill(p, e.Driver(), 0)
 }
 
-func (a *Adam) Step(p *simnet.Proc, e *core.Engine, w, grad *dcv.Vector, iter, batchSize int) error {
+// update returns the Adam update kernel shared by Step and RecordStep.
+func (a *Adam) update(iter, batchSize int) func(lo int, rows [][]float64) {
 	t := float64(iter)
 	scale := 1.0 / float64(batchSize)
 	corr1 := 1 - math.Pow(a.Beta1, t)
 	corr2 := 1 - math.Pow(a.Beta2, t)
 	eta, b1, b2, eps := a.LearningRate, a.Beta1, a.Beta2, a.Epsilon
+	return func(lo int, rows [][]float64) {
+		wt, v, s, g := rows[0], rows[1], rows[2], rows[3]
+		for i := range wt {
+			gi := g[i] * scale
+			s[i] = b1*s[i] + (1-b1)*gi*gi
+			v[i] = b2*v[i] + (1-b2)*gi
+			sHat := s[i] / corr1
+			vHat := v[i] / corr2
+			wt[i] -= eta * vHat / (math.Sqrt(sHat) + eps)
+		}
+	}
+}
+
+func (a *Adam) Step(p *simnet.Proc, e *core.Engine, w, grad *dcv.Vector, iter, batchSize int) error {
 	return w.ZipMap(p, e.Driver(), e.Cluster.Cost.FlopsPerElem*3,
-		func(lo int, rows [][]float64) {
-			wt, v, s, g := rows[0], rows[1], rows[2], rows[3]
-			for i := range wt {
-				gi := g[i] * scale
-				s[i] = b1*s[i] + (1-b1)*gi*gi
-				v[i] = b2*v[i] + (1-b2)*gi
-				sHat := s[i] / corr1
-				vHat := v[i] / corr2
-				wt[i] -= eta * vHat / (math.Sqrt(sHat) + eps)
-			}
-		}, a.velocity, a.square, grad)
+		a.update(iter, batchSize), a.velocity, a.square, grad)
+}
+
+// RecordStep records the same 4-vector zip into a fused batch.
+func (a *Adam) RecordStep(e *core.Engine, b *dcv.Batch, w, grad *dcv.Vector, iter, batchSize int) {
+	b.ZipMap(w, e.Cluster.Cost.FlopsPerElem*3, a.update(iter, batchSize), a.velocity, a.square, grad)
 }
 
 // Adagrad keeps a per-dimension accumulated squared gradient (paper Section
@@ -111,22 +131,29 @@ func (a *Adagrad) Init(p *simnet.Proc, e *core.Engine, w *dcv.Vector) error {
 	if a.accum, err = w.Derive(); err != nil {
 		return err
 	}
-	a.accum.Fill(p, e.Driver(), 0)
-	return nil
+	return a.accum.TryFill(p, e.Driver(), 0)
+}
+
+func (a *Adagrad) update(batchSize int) func(lo int, rows [][]float64) {
+	scale := 1.0 / float64(batchSize)
+	eta, eps := a.LearningRate, a.Epsilon
+	return func(lo int, rows [][]float64) {
+		wt, acc, g := rows[0], rows[1], rows[2]
+		for i := range wt {
+			gi := g[i] * scale
+			acc[i] += gi * gi
+			wt[i] -= eta * gi / (math.Sqrt(acc[i]) + eps)
+		}
+	}
 }
 
 func (a *Adagrad) Step(p *simnet.Proc, e *core.Engine, w, grad *dcv.Vector, iter, batchSize int) error {
-	scale := 1.0 / float64(batchSize)
-	eta, eps := a.LearningRate, a.Epsilon
-	return w.ZipMap(p, e.Driver(), e.Cluster.Cost.FlopsPerElem*2,
-		func(lo int, rows [][]float64) {
-			wt, acc, g := rows[0], rows[1], rows[2]
-			for i := range wt {
-				gi := g[i] * scale
-				acc[i] += gi * gi
-				wt[i] -= eta * gi / (math.Sqrt(acc[i]) + eps)
-			}
-		}, a.accum, grad)
+	return w.ZipMap(p, e.Driver(), e.Cluster.Cost.FlopsPerElem*2, a.update(batchSize), a.accum, grad)
+}
+
+// RecordStep records the same zip into a fused batch.
+func (a *Adagrad) RecordStep(e *core.Engine, b *dcv.Batch, w, grad *dcv.Vector, iter, batchSize int) {
+	b.ZipMap(w, e.Cluster.Cost.FlopsPerElem*2, a.update(batchSize), a.accum, grad)
 }
 
 // RMSProp keeps an exponentially decaying squared-gradient average.
@@ -150,20 +177,34 @@ func (r *RMSProp) Init(p *simnet.Proc, e *core.Engine, w *dcv.Vector) error {
 	if r.mean, err = w.Derive(); err != nil {
 		return err
 	}
-	r.mean.Fill(p, e.Driver(), 0)
-	return nil
+	return r.mean.TryFill(p, e.Driver(), 0)
+}
+
+func (r *RMSProp) update(batchSize int) func(lo int, rows [][]float64) {
+	scale := 1.0 / float64(batchSize)
+	eta, rho, eps := r.LearningRate, r.Rho, r.Epsilon
+	return func(lo int, rows [][]float64) {
+		wt, m, g := rows[0], rows[1], rows[2]
+		for i := range wt {
+			gi := g[i] * scale
+			m[i] = rho*m[i] + (1-rho)*gi*gi
+			wt[i] -= eta * gi / (math.Sqrt(m[i]) + eps)
+		}
+	}
 }
 
 func (r *RMSProp) Step(p *simnet.Proc, e *core.Engine, w, grad *dcv.Vector, iter, batchSize int) error {
-	scale := 1.0 / float64(batchSize)
-	eta, rho, eps := r.LearningRate, r.Rho, r.Epsilon
-	return w.ZipMap(p, e.Driver(), e.Cluster.Cost.FlopsPerElem*2,
-		func(lo int, rows [][]float64) {
-			wt, m, g := rows[0], rows[1], rows[2]
-			for i := range wt {
-				gi := g[i] * scale
-				m[i] = rho*m[i] + (1-rho)*gi*gi
-				wt[i] -= eta * gi / (math.Sqrt(m[i]) + eps)
-			}
-		}, r.mean, grad)
+	return w.ZipMap(p, e.Driver(), e.Cluster.Cost.FlopsPerElem*2, r.update(batchSize), r.mean, grad)
 }
+
+// RecordStep records the same zip into a fused batch.
+func (r *RMSProp) RecordStep(e *core.Engine, b *dcv.Batch, w, grad *dcv.Vector, iter, batchSize int) {
+	b.ZipMap(w, e.Cluster.Cost.FlopsPerElem*2, r.update(batchSize), r.mean, grad)
+}
+
+var (
+	_ FusedOptimizer = (*SGD)(nil)
+	_ FusedOptimizer = (*Adam)(nil)
+	_ FusedOptimizer = (*Adagrad)(nil)
+	_ FusedOptimizer = (*RMSProp)(nil)
+)

@@ -420,12 +420,27 @@ func (mat *Matrix) PushRowsDelta(p *simnet.Proc, from *simnet.Node, rows []int, 
 
 // Invoke runs fn against every server's shard in parallel: the caller sends
 // reqBytes to each server, the server charges work(width) compute, fn mutates
-// or reads the shard and returns a partial scalar, and the server replies
-// with respBytes. The returned slice holds each server's partial. This is
-// the transport under every DCV column-access operator. Invocations are
-// dedup'd like pushes, so a retried invoke never double-applies a mutation.
+// the shard and returns a partial scalar, and the server replies with
+// respBytes. The returned slice holds each server's partial. This is the
+// transport under every DCV column-access operator. Invocations are dedup'd
+// like pushes, so a retried invoke never double-applies a mutation; fn that
+// only reads should use InvokeRead, which skips the dedup tracking.
 func (mat *Matrix) Invoke(p *simnet.Proc, from *simnet.Node, reqBytes, respBytes float64,
 	work func(width int) float64, fn func(s int, sh *Shard) float64) []float64 {
+	return mat.invoke(p, from, reqBytes, respBytes, work, fn, true)
+}
+
+// InvokeRead is Invoke for server-side computations that do not modify shard
+// state (reductions like RowSum). Read-only invocations are naturally
+// idempotent, so they skip request-ID allocation and applied-set tracking
+// entirely — in unreliable runs a reduction costs no dedup state.
+func (mat *Matrix) InvokeRead(p *simnet.Proc, from *simnet.Node, reqBytes, respBytes float64,
+	work func(width int) float64, fn func(s int, sh *Shard) float64) []float64 {
+	return mat.invoke(p, from, reqBytes, respBytes, work, fn, false)
+}
+
+func (mat *Matrix) invoke(p *simnet.Proc, from *simnet.Node, reqBytes, respBytes float64,
+	work func(width int) float64, fn func(s int, sh *Shard) float64, mutates bool) []float64 {
 	cost := mat.master.Cl.Cost
 	partials := make([]float64, mat.Part.Servers)
 	errs := make([]error, mat.Part.Servers)
@@ -438,7 +453,7 @@ func (mat *Matrix) Invoke(p *simnet.Proc, from *simnet.Node, reqBytes, respBytes
 				ReqBytes:  cost.RequestOverheadB + reqBytes,
 				RespBytes: cost.RequestOverheadB + respBytes,
 				Work:      work,
-				Mutates:   true,
+				Mutates:   mutates,
 				Fn: func(_ *simnet.Proc, sh *Shard) error {
 					partials[s] = fn(s, sh)
 					return nil
@@ -453,12 +468,96 @@ func (mat *Matrix) Invoke(p *simnet.Proc, from *simnet.Node, reqBytes, respBytes
 	return partials
 }
 
+// InvokeOp is one operation of a fused server-side program (see InvokeFused).
+// ReqBytes/RespBytes are the op's payload beyond the shared per-request
+// framing; Work charges server CPU per shard; Fn runs against the shard and
+// returns this op's partial scalar.
+type InvokeOp struct {
+	ReqBytes  float64
+	RespBytes float64
+	Work      func(width int) float64
+	Mutates   bool
+	Fn        func(s int, sh *Shard) float64
+}
+
+// TryInvokeFused executes a program of ops in order against every server's
+// shard with ONE request/response per server: the request pays a single
+// RequestOverheadB plus the summed op payloads, the server charges the summed
+// work and runs every op back to back on local memory, and the response
+// carries all result scalars at once. The returned partials are indexed
+// [op][server].
+//
+// The whole program rides one CallShard per server, so it inherits the retry
+// machinery wholesale: if any op mutates, the request carries one dedup ID
+// and a retried batch re-executes exactly once per server incarnation — the
+// ops run atomically with respect to retries. A program of pure reads skips
+// dedup tracking entirely.
+func (mat *Matrix) TryInvokeFused(p *simnet.Proc, from *simnet.Node, ops []InvokeOp) ([][]float64, error) {
+	cost := mat.master.Cl.Cost
+	reqBytes, respBytes := cost.RequestOverheadB, cost.RequestOverheadB
+	mutates := false
+	for _, op := range ops {
+		reqBytes += op.ReqBytes
+		respBytes += op.RespBytes
+		mutates = mutates || op.Mutates
+	}
+	partials := make([][]float64, len(ops))
+	for i := range partials {
+		partials[i] = make([]float64, mat.Part.Servers)
+	}
+	errs := make([]error, mat.Part.Servers)
+	g := p.Sim().NewGroup()
+	for s := 0; s < mat.Part.Servers; s++ {
+		s := s
+		g.Go("invoke-fused", func(cp *simnet.Proc) {
+			errs[s] = mat.CallShard(cp, from, CallSpec{
+				Shard:     s,
+				ReqBytes:  reqBytes,
+				RespBytes: respBytes,
+				Work: func(w int) float64 {
+					var total float64
+					for _, op := range ops {
+						if op.Work != nil {
+							total += op.Work(w)
+						}
+					}
+					return total
+				},
+				Mutates: mutates,
+				Fn: func(_ *simnet.Proc, sh *Shard) error {
+					for i, op := range ops {
+						if op.Fn != nil {
+							// Assign into the (op, server) slot — idempotent
+							// under re-execution after a server recovery.
+							partials[i][s] = op.Fn(s, sh)
+						}
+					}
+					return nil
+				},
+			})
+		})
+	}
+	g.Wait(p)
+	mat.master.Net.FusedOps += uint64(len(ops))
+	return partials, firstError(errs)
+}
+
+// InvokeFused is TryInvokeFused panicking on exhausted retries, mirroring the
+// plain/Try split of the row operators.
+func (mat *Matrix) InvokeFused(p *simnet.Proc, from *simnet.Node, ops []InvokeOp) [][]float64 {
+	partials, err := mat.TryInvokeFused(p, from, ops)
+	if err != nil {
+		panic(err)
+	}
+	return partials
+}
+
 // RowSum returns the sum of a row, computed server-side with only scalars on
 // the wire.
 func (mat *Matrix) RowSum(p *simnet.Proc, from *simnet.Node, row int) float64 {
 	mat.checkRow(row)
 	cost := mat.master.Cl.Cost
-	partials := mat.Invoke(p, from, 8, 8,
+	partials := mat.InvokeRead(p, from, 8, 8,
 		func(w int) float64 { return cost.ElemWork(w) },
 		func(_ int, sh *Shard) float64 { return linalg.Sum(sh.Rows[row]) })
 	return linalg.Sum(partials)
@@ -468,7 +567,7 @@ func (mat *Matrix) RowSum(p *simnet.Proc, from *simnet.Node, row int) float64 {
 func (mat *Matrix) RowNnz(p *simnet.Proc, from *simnet.Node, row int) int {
 	mat.checkRow(row)
 	cost := mat.master.Cl.Cost
-	partials := mat.Invoke(p, from, 8, 8,
+	partials := mat.InvokeRead(p, from, 8, 8,
 		func(w int) float64 { return cost.ElemWork(w) },
 		func(_ int, sh *Shard) float64 { return float64(linalg.NnzDense(sh.Rows[row])) })
 	return int(linalg.Sum(partials))
@@ -478,7 +577,7 @@ func (mat *Matrix) RowNnz(p *simnet.Proc, from *simnet.Node, row int) int {
 func (mat *Matrix) RowNorm2(p *simnet.Proc, from *simnet.Node, row int) float64 {
 	mat.checkRow(row)
 	cost := mat.master.Cl.Cost
-	partials := mat.Invoke(p, from, 8, 8,
+	partials := mat.InvokeRead(p, from, 8, 8,
 		func(w int) float64 { return cost.ElemWork(w) },
 		func(_ int, sh *Shard) float64 {
 			n := linalg.Norm2(sh.Rows[row])

@@ -93,11 +93,43 @@ type CallSpec struct {
 	Fn func(cp *simnet.Proc, sh *Shard) error
 }
 
+// NetStats counts data-plane RPC activity on a master. Calls is the number
+// of logical CallShard invocations (one per shard touched per operator);
+// Attempts includes retries. FusedOps counts column ops that travelled inside
+// fused batch requests, and DedupPruned counts applied-set entries retired by
+// the acknowledgement watermark (see retireReq).
+type NetStats struct {
+	Calls       uint64
+	Attempts    uint64
+	FusedOps    uint64
+	DedupPruned uint64
+}
+
 // nextReqID allocates a request ID for mutation dedup. Zero means "no dedup"
-// and is used while the run is reliable, so clean runs pay no tracking.
+// and is used while the run is reliable, so clean runs pay no tracking. The
+// ID is tracked as outstanding until the call completes (retireReq), which
+// drives the acknowledgement watermark that lets servers prune applied-sets.
 func (m *Master) nextReqID() uint64 {
 	m.reqSeq++
+	m.outstanding[m.reqSeq] = struct{}{}
 	return m.reqSeq
+}
+
+// retireReq marks a request ID as fully settled: the client will never resend
+// it (the call returned — success, server-down, or client crash — and its
+// CallShard loop exited). The watermark ackedTo advances to the highest ID
+// with every ID at or below it settled; clients piggyback it on subsequent
+// requests and servers drop applied-set entries at or below it, which keeps
+// the dedup map bounded by the number of in-flight mutations instead of
+// growing for the whole run.
+func (m *Master) retireReq(id uint64) {
+	delete(m.outstanding, id)
+	for m.ackedTo < m.reqSeq {
+		if _, inFlight := m.outstanding[m.ackedTo+1]; inFlight {
+			break
+		}
+		m.ackedTo++
+	}
 }
 
 // unreliable reports whether failures can occur in this run: a fault has
@@ -114,15 +146,18 @@ func (m *Master) unreliable() bool {
 func (mat *Matrix) CallShard(p *simnet.Proc, from *simnet.Node, spec CallSpec) error {
 	m := mat.master
 	rc := m.Retry.withDefaults()
+	m.Net.Calls++
 	var id uint64
 	if spec.Mutates && m.unreliable() {
 		id = m.nextReqID()
+		defer m.retireReq(id)
 	}
 	backoff := rc.BackoffSec
 	wait := func(d float64) {
 		p.Sleep(d)
 	}
 	for attempt := 0; attempt < rc.MaxRetries; attempt++ {
+		m.Net.Attempts++
 		if !from.Up() {
 			return fmt.Errorf("ps: client machine %q crashed: %w", from.Name, simnet.ErrNodeDown)
 		}
@@ -163,6 +198,11 @@ func (mat *Matrix) CallShard(p *simnet.Proc, from *simnet.Node, spec CallSpec) e
 			wait(backoff)
 			backoff = min(backoff*2, rc.MaxBackoffSec)
 			continue
+		}
+		if id != 0 {
+			// The request piggybacks the master's acknowledgement watermark;
+			// the server drops dedup entries for IDs that can never be resent.
+			srv.pruneApplied(m)
 		}
 		if spec.Fn != nil && !(id != 0 && srv.applied[id]) {
 			if err := spec.Fn(p, sh); err != nil {

@@ -65,7 +65,12 @@ type Server struct {
 	failedAt simnet.Time
 
 	// applied dedups mutating RPCs (see rpc.go). It dies with the server.
+	// Entries at or below the master's acknowledgement watermark are pruned
+	// on request arrival (pruneApplied), so the map stays bounded by the
+	// number of in-flight mutations.
 	applied map[uint64]bool
+	// prunedTo is the watermark this server last pruned applied against.
+	prunedTo uint64
 
 	// CarrySent/CarryRecv accumulate traffic counters of this logical
 	// server's previous machine incarnations, so Stats stays monotonic
@@ -103,9 +108,42 @@ type Master struct {
 	// Recovery accumulates the self-healing subsystem's metrics.
 	Recovery RecoveryStats
 
-	reqSeq      uint64
+	// Net counts data-plane RPC activity (logical calls, attempts including
+	// retries, fused-op payloads) — the observability the ext-fusion
+	// benchmark reads.
+	Net NetStats
+
+	reqSeq uint64
+	// outstanding holds mutation request IDs whose CallShard loop has not
+	// exited yet; ackedTo is the acknowledgement watermark: every ID at or
+	// below it is settled and will never be resent (see rpc.go).
+	outstanding map[uint64]struct{}
+	ackedTo     uint64
+
 	monitorStop *simnet.Signal
 }
+
+// pruneApplied drops the server's dedup entries for request IDs at or below
+// the master's acknowledgement watermark: those calls have completed, so
+// their IDs can never be resent. Called on request arrival (the watermark
+// rides the request), it bounds the applied-set by the number of in-flight
+// mutations.
+func (srv *Server) pruneApplied(m *Master) {
+	if m.ackedTo <= srv.prunedTo {
+		return
+	}
+	for id := range srv.applied {
+		if id <= m.ackedTo {
+			delete(srv.applied, id)
+			m.Net.DedupPruned++
+		}
+	}
+	srv.prunedTo = m.ackedTo
+}
+
+// DedupSize reports the current applied-set size (exported so tests can
+// assert the map stays bounded over long unreliable runs).
+func (srv *Server) DedupSize() int { return len(srv.applied) }
 
 // NewMaster starts a PS application over every server machine in cl.
 func NewMaster(cl *cluster.Cluster) *Master {
@@ -115,6 +153,7 @@ func NewMaster(cl *cluster.Cluster) *Master {
 		checkpoints:      map[int][]*Shard{},
 		Retry:            DefaultRetryConfig(),
 		DeltaCheckpoints: true,
+		outstanding:      map[uint64]struct{}{},
 	}
 	for i, node := range cl.Servers {
 		m.servers = append(m.servers, &Server{
@@ -248,6 +287,7 @@ func (m *Master) CrashServer(s int) {
 	srv.Node.Fail()
 	srv.shards = map[int]*Shard{}
 	srv.applied = map[uint64]bool{}
+	srv.prunedTo = 0
 	m.Unreliable = true
 	m.Recovery.ServerCrashes++
 }
@@ -277,6 +317,7 @@ func (m *Master) RecoverServer(p *simnet.Proc, s int) {
 	srv.Node = m.Cl.ReplaceServer(s)
 	srv.shards = map[int]*Shard{}
 	srv.applied = map[uint64]bool{}
+	srv.prunedTo = 0
 
 	// Sorted matrix order keeps the simulation deterministic (map iteration
 	// order would reshuffle restore-stream interleaving run to run).

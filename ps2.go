@@ -54,6 +54,16 @@ type Proc = simnet.Proc
 // Vector is a Dimension Co-located Vector: the paper's model abstraction.
 type Vector = dcv.Vector
 
+// Batch records a program of column ops against co-located vectors and
+// executes it as one fused request per server; see dcv.Batch.
+type Batch = dcv.Batch
+
+// Scalar is the deferred result of a reducing Batch op.
+type Scalar = dcv.Scalar
+
+// NewBatch starts an empty fused-op batch anchored at a vector's raw matrix.
+func NewBatch(anchor *Vector) *Batch { return dcv.NewBatch(anchor) }
+
 // Trace is a convergence curve (virtual time vs. metric).
 type Trace = core.Trace
 
