@@ -98,7 +98,7 @@ func TestChaosSoakLogisticRegression(t *testing.T) {
 		t.Fatal("chaos run did not finish")
 	}
 
-	rep := engine.RecoveryReport()
+	rep := engine.Snapshot().Recovery
 	if rep.ServerCrashes != 1 {
 		t.Fatalf("ServerCrashes = %d, want 1 (did the fault plan fire?)", rep.ServerCrashes)
 	}
@@ -189,7 +189,7 @@ func TestChaosSoakDeepWalk(t *testing.T) {
 		t.Fatalf("chaos DeepWalk loss %v vs clean %v: gap %.1f%% too large",
 			chaosLoss, cleanLoss, 100*rel)
 	}
-	rep := engine.RecoveryReport()
+	rep := engine.Snapshot().Recovery
 	if rep.Recoveries < 1 || rep.RestoreBytes <= 0 {
 		t.Fatalf("recovery did not run: %+v", rep)
 	}

@@ -6,6 +6,7 @@
 //	ps2bench -list
 //	ps2bench -exp fig9a [-quick]
 //	ps2bench -all [-quick]
+//	ps2bench -exp ext-fusion -quick -trace out.json   # Perfetto-loadable trace
 package main
 
 import (
@@ -15,29 +16,35 @@ import (
 	"os"
 	"path/filepath"
 	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/obs"
 )
 
 func main() {
 	var (
-		expID  = flag.String("exp", "", "experiment id to run (see -list)")
-		all    = flag.Bool("all", false, "run every experiment")
-		list   = flag.Bool("list", false, "list experiment ids")
-		quick  = flag.Bool("quick", false, "reduced scale for a fast pass")
-		csvDir = flag.String("csv", "", "also write each result as CSV into this directory")
+		expID     = flag.String("exp", "", "experiment id to run (see -list)")
+		all       = flag.Bool("all", false, "run every experiment")
+		list      = flag.Bool("list", false, "list experiment ids")
+		quick     = flag.Bool("quick", false, "reduced scale for a fast pass")
+		csvDir    = flag.String("csv", "", "also write each result as CSV into this directory")
+		traceFile = flag.String("trace", "", "arm the span tracer and write a Chrome/Perfetto trace to this file (plus a .phases.txt sidecar)")
 	)
 	flag.Parse()
+	opts := bench.Opts{Quick: *quick, Trace: *traceFile != ""}
 
+	var results []*bench.Result
 	switch {
 	case *list:
 		for _, e := range bench.All() {
 			fmt.Printf("%-22s %s\n", e.ID, e.Title)
 		}
+		return
 	case *all:
 		for _, e := range bench.All() {
-			runOne(e, bench.Opts{Quick: *quick}, *csvDir)
+			results = append(results, runOne(e, opts, *csvDir))
 		}
 	case *expID != "":
 		e, ok := bench.ByID(*expID)
@@ -45,14 +52,20 @@ func main() {
 			fmt.Fprintf(os.Stderr, "ps2bench: unknown experiment %q (use -list)\n", *expID)
 			os.Exit(2)
 		}
-		runOne(e, bench.Opts{Quick: *quick}, *csvDir)
+		results = append(results, runOne(e, opts, *csvDir))
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *traceFile != "" {
+		if err := writeTrace(*traceFile, results); err != nil {
+			fmt.Fprintf(os.Stderr, "ps2bench: trace: %v\n", err)
+			os.Exit(1)
+		}
+	}
 }
 
-func runOne(e bench.Experiment, o bench.Opts, csvDir string) {
+func runOne(e bench.Experiment, o bench.Opts, csvDir string) *bench.Result {
 	start := time.Now()
 	res := e.Run(o)
 	res.Render(os.Stdout)
@@ -63,6 +76,41 @@ func runOne(e bench.Experiment, o bench.Opts, csvDir string) {
 			os.Exit(1)
 		}
 	}
+	return res
+}
+
+// writeTrace merges every traced engine run into one Chrome-trace-format file
+// (load it in Perfetto or chrome://tracing; one process per simulated node)
+// and writes the per-run phase summaries alongside it.
+func writeTrace(path string, results []*bench.Result) error {
+	var spans []obs.NamedTrace
+	var phases []string
+	for _, res := range results {
+		spans = append(spans, res.Spans...)
+		for _, p := range res.Phases {
+			phases = append(phases, res.ID+" "+p)
+		}
+	}
+	if len(spans) == 0 {
+		return fmt.Errorf("no traced runs: the selected experiments do not support -trace yet")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteChromeTraces(f, spans); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	sidecar := path + ".phases.txt"
+	if err := os.WriteFile(sidecar, []byte(strings.Join(phases, "\n")+"\n"), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d traced runs) and %s\n", path, len(spans), sidecar)
+	return nil
 }
 
 // writeCSV writes the result table (and any convergence curves) as CSV files.

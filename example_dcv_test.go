@@ -26,9 +26,7 @@ func Example_dcv() {
 		fmt.Println("derived co-located:", weight.Colocated(velocity))
 
 		// Server-side element-wise computation across co-located DCVs.
-		if err := velocity.Axpy(p, engine.Driver(), 2, gradient); err != nil {
-			panic(err)
-		}
+		velocity.Axpy(p, engine.Driver(), 2, gradient)
 		sum := velocity.Sum(p, engine.Driver())
 		fmt.Println("velocity sum after axpy:", sum)
 
@@ -40,10 +38,7 @@ func Example_dcv() {
 		}
 		other.Fill(p, engine.Driver(), 3)
 		fmt.Println("independent co-located:", weight.Colocated(other))
-		dot, err := gradient.Dot(p, engine.Driver(), other)
-		if err != nil {
-			panic(err)
-		}
+		dot := gradient.Dot(p, engine.Driver(), other)
 		fmt.Println("dot across placements:", dot)
 	})
 	// Output:

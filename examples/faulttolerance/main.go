@@ -87,7 +87,7 @@ func main() {
 			ExecutorCrashes: []ps2.CrashEvent{{AtSec: 0.6 * lossyEnd, Index: 5}},
 		})
 		loss := lr.EvalLoss(lr.Logistic, ds.Instances, w)
-		rep := engine.RecoveryReport()
+		rep := engine.Snapshot().Recovery
 		fmt.Printf("clean loss %.4f, chaos loss %.4f (%+.2f%%), run stretched %.2fs -> %.2fs\n",
 			cleanLoss, loss, 100*(loss-cleanLoss)/cleanLoss, cleanTime, elapsed)
 		fmt.Printf("server crash detected in %.3fs, recovered in %.2gs replaying %.1f KB from the checkpoint store\n",

@@ -13,13 +13,17 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // Opts controls experiment scale. Quick shrinks datasets and iteration
 // counts so a full sweep finishes in CI time; the default (full) scale is
-// what EXPERIMENTS.md records.
+// what EXPERIMENTS.md records. Trace arms the span tracer on experiments
+// that support it; their Results then carry Spans for Chrome-trace export
+// and a per-run phase summary.
 type Opts struct {
 	Quick bool
+	Trace bool
 }
 
 // Result is the rendered outcome of one experiment.
@@ -30,6 +34,12 @@ type Result struct {
 	Rows   [][]string
 	Traces []*core.Trace
 	Notes  []string
+
+	// Spans holds one named tracer per traced engine run (only when
+	// Opts.Trace was set); cmd/ps2bench merges them into one Chrome trace.
+	// Phases carries the matching compute/comm/wait/recovery summaries.
+	Spans  []obs.NamedTrace
+	Phases []string
 }
 
 // AddRow appends one table row, stringifying the cells.
@@ -110,6 +120,9 @@ func (r *Result) Render(w io.Writer) {
 			fmt.Fprintf(w, " (%.1fs, %.4f)", d.Times[i], d.Values[i])
 		}
 		fmt.Fprintln(w)
+	}
+	for _, p := range r.Phases {
+		fmt.Fprintf(w, "  phases: %s\n", p)
 	}
 	for _, n := range r.Notes {
 		fmt.Fprintf(w, "  note: %s\n", n)

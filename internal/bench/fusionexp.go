@@ -1,10 +1,13 @@
 package bench
 
 import (
+	"fmt"
+
 	"repro/internal/core"
 	"repro/internal/data"
 	"repro/internal/ml/embedding"
 	"repro/internal/ml/lr"
+	"repro/internal/obs"
 	"repro/internal/rdd"
 	"repro/internal/simnet"
 )
@@ -37,13 +40,18 @@ func runExtFusion(o Opts) *Result {
 		if fused {
 			mode = "fused"
 		}
-		rep := e.Report()
-		r.AddRow(workload, mode, int(rep.RPCCalls), int(rep.FusedOps),
+		rep := e.Snapshot()
+		r.AddRow(workload, mode, int(rep.Net.RPCCalls), int(rep.Fusion.FusedOps),
 			e.Cluster.TotalBytesOnWire()/1e6, float64(end), loss)
+		if o.Trace {
+			r.Spans = append(r.Spans, obs.NamedTrace{Name: workload + "-" + mode, Tracer: e.Tracer()})
+			r.Phases = append(r.Phases, fmt.Sprintf("%s/%s: %s", workload, mode,
+				rep.Phases.Summary(rep.WallSec)))
+		}
 	}
 
 	runLR := func(workload string, newOpt func() lr.Optimizer, fused bool) {
-		e := paperEngine(20, 20)
+		e := tracedEngine(o, 20, 20)
 		c := cfg
 		c.NoFusion = !fused
 		var loss float64
@@ -87,7 +95,7 @@ func runExtFusion(o Opts) *Result {
 	}
 	workers := 8
 	for _, fused := range []bool{false, true} {
-		e := paperEngine(workers, 4)
+		e := tracedEngine(o, workers, 4)
 		c := dwCfg
 		c.NoFusion = !fused
 		var loss float64

@@ -56,6 +56,16 @@ func paperEngine(executors, servers int) *core.Engine {
 	return core.NewEngine(opt)
 }
 
+// tracedEngine is paperEngine with the span tracer armed when the harness
+// was run with -trace.
+func tracedEngine(o Opts, executors, servers int) *core.Engine {
+	opt := core.DefaultOptions()
+	opt.Executors = executors
+	opt.Servers = servers
+	opt.Trace = o.Trace
+	return core.NewEngine(opt)
+}
+
 func instancesRDD(e *core.Engine, ds *data.ClassifyDataset) *rdd.RDD[data.Instance] {
 	return rdd.FromSlices(e.RDD, data.Partition(ds.Instances, e.RDD.NumExecutors())).Cache()
 }

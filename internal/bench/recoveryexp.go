@@ -94,7 +94,7 @@ func runExtRecovery(o Opts) *Result {
 			LossProb:      lossProb,
 			ServerCrashes: []core.CrashEvent{{AtSec: 0.5 * float64(calib.end), Index: 3}},
 		}, false)
-		rep := crashed.e.RecoveryReport()
+		rep := crashed.e.Snapshot().Recovery
 		r.AddRow(fmt.Sprintf("%d iters", every),
 			rep.MeanDetectLatency(), rep.MeanRecoverySec(), rep.RestoreBytes/1e6,
 			rep.CheckpointBytesWritten/1e6, rep.CheckpointBytesFull/1e6,
@@ -110,8 +110,8 @@ func runExtRecovery(o Opts) *Result {
 		ServerCrashes: []core.CrashEvent{{AtSec: 0.5 * float64(calib.end), Index: 3}},
 	}, true)
 	deltaRun := train(c, &core.FaultPlan{LossProb: lossProb}, false)
-	fullRep := fullRun.e.RecoveryReport()
-	deltaRep := deltaRun.e.RecoveryReport()
+	fullRep := fullRun.e.Snapshot().Recovery
+	deltaRep := deltaRun.e.Snapshot().Recovery
 	r.Note("clean-run loss %.4f in %.2fs; crash injected at 50%% of the run, detector interval 0.05s × 3 misses", clean.loss, clean.end)
 	r.Note("delta checkpoints ship %.2f MB where full snapshots ship %.2f MB (every 2 iters): %.1fx less wire",
 		deltaRep.CheckpointBytesWritten/1e6, fullRep.CheckpointBytesWritten/1e6,
@@ -162,7 +162,7 @@ func runExtChaos(o Opts) *Result {
 	r.AddRow("loss+crashes", float64(chaosEnd), chaosLoss,
 		fmt.Sprintf("%+.2f%%", 100*(chaosLoss-cleanLoss)/cleanLoss))
 
-	rep := chaosE.RecoveryReport()
+	rep := chaosE.Snapshot().Recovery
 	r.Note("server crash detected in %.3fs, recovered in %.4fs replaying %.2f MB from the checkpoint store",
 		rep.MeanDetectLatency(), rep.MeanRecoverySec(), rep.RestoreBytes/1e6)
 	r.Note("%d messages dropped in the lossy run, %d in the chaos run; executor crash rescheduled its partitions onto the %d survivors",

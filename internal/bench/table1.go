@@ -77,50 +77,20 @@ func runTable1(o Opts) *Result {
 		measure("row access", "nnz", func() { v.Nnz(p, worker) })
 		measure("row access", "norm2", func() { v.Norm2(p, worker) })
 
-		measure("column access", "dot", func() {
-			if _, err := v.Dot(p, worker, w); err != nil {
-				panic(err)
-			}
-		})
-		measure("column access", "axpy", func() {
-			if err := v.Axpy(p, driver, 0.5, w); err != nil {
-				panic(err)
-			}
-		})
-		measure("column access", "add", func() {
-			if err := v.AddVec(p, driver, w); err != nil {
-				panic(err)
-			}
-		})
-		measure("column access", "sub", func() {
-			if err := v.SubVec(p, driver, w); err != nil {
-				panic(err)
-			}
-		})
-		measure("column access", "mul", func() {
-			if err := v.MulVec(p, driver, w); err != nil {
-				panic(err)
-			}
-		})
-		measure("column access", "div", func() {
-			if err := v.DivVec(p, driver, w); err != nil {
-				panic(err)
-			}
-		})
-		measure("column access", "copy", func() {
-			if err := v.CopyFrom(p, driver, w); err != nil {
-				panic(err)
-			}
-		})
+		measure("column access", "dot", func() { v.Dot(p, worker, w) })
+		measure("column access", "axpy", func() { v.Axpy(p, driver, 0.5, w) })
+		measure("column access", "add", func() { v.AddVec(p, driver, w) })
+		measure("column access", "sub", func() { v.SubVec(p, driver, w) })
+		measure("column access", "mul", func() { v.MulVec(p, driver, w) })
+		measure("column access", "div", func() { v.DivVec(p, driver, w) })
+		measure("column access", "copy", func() { v.CopyFrom(p, driver, w) })
 		measure("column access", "zip+mapPartition", func() {
-			if err := v.ZipMap(p, driver, 2, func(lo int, rows [][]float64) {
+			v.ZipMap(p, driver, 2, func(lo int, rows [][]float64) {
 				a, b := rows[0], rows[1]
 				for i := range a {
 					a[i] += 0.1 * b[i]
 				}
-			}, w); err != nil {
-				panic(err)
-			}
+			}, w)
 		})
 	})
 	r.Note("column-access operators move only commands and scalars: compare their wire KB against the row-access pull")

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/dcv"
+	"repro/internal/obs"
 	"repro/internal/ps"
 	"repro/internal/rdd"
 	"repro/internal/simnet"
@@ -50,6 +51,13 @@ type Options struct {
 	// FullCheckpoints disables delta checkpointing, shipping full snapshots
 	// on every Checkpoint (the ablation arm of the recovery benchmark).
 	FullCheckpoints bool
+
+	// Trace enables the span tracer: RPCs, server ops, fused batches, tasks
+	// and recovery activity are recorded as structured spans, exportable as a
+	// Chrome/Perfetto trace (Engine.Tracer, obs.WriteChrome) and folded into
+	// Snapshot's phase breakdown. Off by default; the disabled path costs one
+	// nil check per instrumentation site.
+	Trace bool
 }
 
 // CrashEvent schedules the crash of one machine (by role-local index) at a
@@ -134,6 +142,9 @@ func NewEngine(opt Options) *Engine {
 		sim.EnableChaos(seed, opt.Faults.LossProb, opt.Faults.ExtraDelaySec)
 		master.Unreliable = true
 	}
+	if opt.Trace {
+		sim.EnableTrace()
+	}
 	return &Engine{
 		Sim:      sim,
 		Cluster:  cl,
@@ -186,9 +197,65 @@ func (e *Engine) Run(job func(p *simnet.Proc)) simnet.Time {
 	return end
 }
 
-// RecoveryReport returns the self-healing subsystem's accumulated metrics:
-// crashes injected, detection latency, recovery time, checkpoint and restore
-// traffic.
+// Snapshot gathers every end-of-run statistic into one structured report:
+// communication (RPC counters, per-role NIC bytes, chaos drops), the
+// self-healing subsystem, operator fusion, and — when the run was traced —
+// the span-derived phase breakdown. It is the single reporting entry point;
+// Report and RecoveryReport are thin deprecated views over it.
+func (e *Engine) Snapshot() obs.Snapshot {
+	const mb = 1e6
+	s := obs.Snapshot{
+		WallSec: float64(e.Sim.Now()),
+		Events:  e.Sim.EventsProcessed(),
+		Net: obs.NetSnapshot{
+			RPCCalls:     e.PS.Net.Calls,
+			RPCAttempts:  e.PS.Net.Attempts,
+			DedupPruned:  e.PS.Net.DedupPruned,
+			DriverSentMB: e.Cluster.Driver.BytesSent / mb,
+			DriverRecvMB: e.Cluster.Driver.BytesRecv / mb,
+		},
+		Recovery: obs.RecoverySnapshot{
+			ServerCrashes:          e.PS.Recovery.ServerCrashes,
+			Detections:             e.PS.Recovery.Detections,
+			DetectLatencySum:       e.PS.Recovery.DetectLatencySum,
+			Recoveries:             e.PS.Recovery.Recoveries,
+			RecoverySecSum:         e.PS.Recovery.RecoverySecSum,
+			RestoreBytes:           e.PS.Recovery.RestoreBytes,
+			ZeroRestoredShards:     e.PS.Recovery.ZeroRestoredShards,
+			CheckpointBytesWritten: e.PS.Recovery.CheckpointBytesWritten,
+			CheckpointBytesFull:    e.PS.Recovery.CheckpointBytesFull,
+		},
+		Fusion: obs.FusionSnapshot{
+			Batches:  e.PS.Net.Batches,
+			FusedOps: e.PS.Net.FusedOps,
+		},
+	}
+	if c := e.Sim.Chaos(); c != nil {
+		s.Net.MessagesLost = c.MessagesLost
+	}
+	for _, n := range e.Cluster.Executors {
+		s.Net.ExecutorSentMB += n.BytesSent / mb
+		s.Net.ExecutorRecvMB += n.BytesRecv / mb
+		s.Phases.ExecutorCoreSec += n.WorkDone / n.WorkRate()
+	}
+	for _, n := range e.Cluster.Servers {
+		s.Net.ServerSentMB += n.BytesSent / mb
+		s.Net.ServerRecvMB += n.BytesRecv / mb
+		s.Phases.ServerCoreSec += n.WorkDone / n.WorkRate()
+	}
+	if t := e.Sim.Tracer(); t != nil {
+		s.Phases.Traced = true
+		s.Phases.PhaseBreakdown = t.Phases()
+	}
+	return s
+}
+
+// Tracer returns the engine's span tracer, or nil when Options.Trace was off.
+func (e *Engine) Tracer() *obs.Tracer { return e.Sim.Tracer() }
+
+// RecoveryReport returns the self-healing subsystem's accumulated metrics.
+//
+// Deprecated: use Snapshot().Recovery, which carries the same fields.
 func (e *Engine) RecoveryReport() ps.RecoveryStats { return e.PS.Recovery }
 
 // Driver returns the coordinator machine (the Spark driver, which also hosts
@@ -267,15 +334,20 @@ func (t *Trace) String() string {
 }
 
 // Downsample returns up to n evenly spaced samples (for printing curves).
+// The first and last samples are always kept — the final value is what
+// convergence tables read — with the interior points spread evenly between
+// them, whether or not n divides the trace length.
 func (t *Trace) Downsample(n int) *Trace {
 	if t.Len() <= n || n < 2 {
 		return t
 	}
 	out := &Trace{Name: t.Name}
-	for i := 0; i < n; i++ {
-		j := i * (t.Len() - 1) / (n - 1)
+	last := t.Len() - 1
+	for i := 0; i < n-1; i++ {
+		j := i * last / (n - 1)
 		out.Add(t.Times[j], t.Values[j])
 	}
+	out.Add(t.Times[last], t.Values[last])
 	return out
 }
 
@@ -341,28 +413,26 @@ type UtilizationReport struct {
 }
 
 // Report gathers the utilization counters from the cluster.
+//
+// Deprecated: use Snapshot, which carries the same counters under Net,
+// Fusion and Phases plus the recovery and (when traced) phase views.
 func (e *Engine) Report() UtilizationReport {
-	const mb = 1e6
-	r := UtilizationReport{
-		DriverSentMB: e.Cluster.Driver.BytesSent / mb,
-		DriverRecvMB: e.Cluster.Driver.BytesRecv / mb,
-		Events:       e.Sim.EventsProcessed(),
-		RPCCalls:     e.PS.Net.Calls,
-		RPCAttempts:  e.PS.Net.Attempts,
-		FusedOps:     e.PS.Net.FusedOps,
-		DedupPruned:  e.PS.Net.DedupPruned,
+	s := e.Snapshot()
+	return UtilizationReport{
+		DriverSentMB:    s.Net.DriverSentMB,
+		DriverRecvMB:    s.Net.DriverRecvMB,
+		ExecutorSentMB:  s.Net.ExecutorSentMB,
+		ExecutorRecvMB:  s.Net.ExecutorRecvMB,
+		ServerSentMB:    s.Net.ServerSentMB,
+		ServerRecvMB:    s.Net.ServerRecvMB,
+		ExecutorCoreSec: s.Phases.ExecutorCoreSec,
+		ServerCoreSec:   s.Phases.ServerCoreSec,
+		Events:          s.Events,
+		RPCCalls:        s.Net.RPCCalls,
+		RPCAttempts:     s.Net.RPCAttempts,
+		FusedOps:        s.Fusion.FusedOps,
+		DedupPruned:     s.Net.DedupPruned,
 	}
-	for _, n := range e.Cluster.Executors {
-		r.ExecutorSentMB += n.BytesSent / mb
-		r.ExecutorRecvMB += n.BytesRecv / mb
-		r.ExecutorCoreSec += n.WorkDone / n.WorkRate()
-	}
-	for _, n := range e.Cluster.Servers {
-		r.ServerSentMB += n.BytesSent / mb
-		r.ServerRecvMB += n.BytesRecv / mb
-		r.ServerCoreSec += n.WorkDone / n.WorkRate()
-	}
-	return r
 }
 
 func (r UtilizationReport) String() string {

@@ -68,6 +68,43 @@ func TestTraceBasics(t *testing.T) {
 	}
 }
 
+// TestDownsampleKeepsFinalSample pins the boundary behaviour: whatever the
+// requested size — in particular when it does not divide the length — the
+// last sample (the converged loss a table quotes) must survive, alongside
+// the first, with times still strictly increasing.
+func TestDownsampleKeepsFinalSample(t *testing.T) {
+	tr := &Trace{Name: "x"}
+	for i := 0; i < 10; i++ {
+		tr.Add(float64(i), float64(2*i))
+	}
+	for _, n := range []int{2, 3, 4, 6, 7, 9} {
+		ds := tr.Downsample(n)
+		if ds.Len() != n {
+			t.Fatalf("Downsample(%d).Len() = %d", n, ds.Len())
+		}
+		if ds.Times[0] != 0 {
+			t.Fatalf("Downsample(%d) dropped the first sample", n)
+		}
+		if got := ds.Times[n-1]; got != 9 {
+			t.Fatalf("Downsample(%d) final time = %v, want 9 (last sample dropped)", n, got)
+		}
+		if got := ds.Values[n-1]; got != 18 {
+			t.Fatalf("Downsample(%d) final value = %v, want 18", n, got)
+		}
+		for i := 1; i < n; i++ {
+			if ds.Times[i] <= ds.Times[i-1] {
+				t.Fatalf("Downsample(%d) times not increasing: %v", n, ds.Times)
+			}
+		}
+	}
+	// Degenerate sizes return the trace unchanged.
+	for _, n := range []int{10, 100, 1, 0, -3} {
+		if tr.Downsample(n) != tr {
+			t.Fatalf("Downsample(%d) should return the receiver", n)
+		}
+	}
+}
+
 func TestSpeedup(t *testing.T) {
 	a := &Trace{Name: "fast"}
 	a.Add(1, 0.5)
@@ -144,27 +181,43 @@ func TestTaskFailureOptionWiresThrough(t *testing.T) {
 	}
 }
 
-func TestUtilizationReport(t *testing.T) {
+func TestSnapshot(t *testing.T) {
 	e := NewEngine(DefaultOptions())
 	e.Run(func(p *simnet.Proc) {
 		e.Cluster.Executors[0].Send(p, e.Cluster.Servers[0], 2e6)
 		e.Cluster.Servers[0].Compute(p, 1e8) // one core-second
 		e.Cluster.Driver.Send(p, e.Cluster.Executors[1], 5e5)
 	})
-	r := e.Report()
-	if r.ExecutorSentMB < 2 || r.ServerRecvMB < 2 {
-		t.Fatalf("executor->server traffic missing: %+v", r)
+	s := e.Snapshot()
+	if s.Net.ExecutorSentMB < 2 || s.Net.ServerRecvMB < 2 {
+		t.Fatalf("executor->server traffic missing: %+v", s.Net)
 	}
-	if r.ServerCoreSec < 0.99 || r.ServerCoreSec > 1.01 {
-		t.Fatalf("server core-seconds = %v, want ~1", r.ServerCoreSec)
+	if s.Phases.ServerCoreSec < 0.99 || s.Phases.ServerCoreSec > 1.01 {
+		t.Fatalf("server core-seconds = %v, want ~1", s.Phases.ServerCoreSec)
 	}
-	if r.DriverSentMB < 0.5 {
-		t.Fatalf("driver egress missing: %+v", r)
+	if s.Net.DriverSentMB < 0.5 {
+		t.Fatalf("driver egress missing: %+v", s.Net)
 	}
-	if r.Events == 0 {
+	if s.Events == 0 {
 		t.Fatal("no events recorded")
+	}
+	if s.Phases.Traced {
+		t.Fatal("Traced = true on an untraced run")
+	}
+	if len(s.String()) == 0 {
+		t.Fatal("empty snapshot string")
+	}
+
+	// The deprecated accessors must stay views over the same counters.
+	r := e.Report()
+	if r.ExecutorSentMB != s.Net.ExecutorSentMB || r.Events != s.Events ||
+		r.ServerCoreSec != s.Phases.ServerCoreSec {
+		t.Fatalf("Report() diverged from Snapshot(): %+v vs %+v", r, s)
 	}
 	if len(r.String()) == 0 {
 		t.Fatal("empty report string")
+	}
+	if rec := e.RecoveryReport(); rec != (e.PS.Recovery) {
+		t.Fatalf("RecoveryReport() diverged: %+v", rec)
 	}
 }

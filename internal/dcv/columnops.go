@@ -104,11 +104,11 @@ func (v *Vector) zipInvoke(p *simnet.Proc, from *simnet.Node, others []*Vector,
 	return nil
 }
 
-// Dot returns <v, other>, computed server-side: each server multiplies its
+// TryDot returns <v, other>, computed server-side: each server multiplies its
 // local stretches and returns one partial scalar. With a derived (co-located)
 // operand no vector data crosses the network; otherwise the operand's ranges
 // are shuffled between servers first.
-func (v *Vector) Dot(p *simnet.Proc, from *simnet.Node, other *Vector) (float64, error) {
+func (v *Vector) TryDot(p *simnet.Proc, from *simnet.Node, other *Vector) (float64, error) {
 	cost := v.sess.Master.Cl.Cost
 	// One slot per shard (not `total += partial`): a retried invocation
 	// re-executes fn, and assignment is idempotent where accumulation is not.
@@ -128,9 +128,18 @@ func (v *Vector) Dot(p *simnet.Proc, from *simnet.Node, other *Vector) (float64,
 	return total, err
 }
 
-// Axpy computes v += alpha*other server-side (the paper's iaxpy used in the
-// DeepWalk update, Figure 6).
-func (v *Vector) Axpy(p *simnet.Proc, from *simnet.Node, alpha float64, other *Vector) error {
+// Dot is TryDot panicking on operand or availability errors.
+func (v *Vector) Dot(p *simnet.Proc, from *simnet.Node, other *Vector) float64 {
+	d, err := v.TryDot(p, from, other)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// TryAxpy computes v += alpha*other server-side (the paper's iaxpy used in
+// the DeepWalk update, Figure 6).
+func (v *Vector) TryAxpy(p *simnet.Proc, from *simnet.Node, alpha float64, other *Vector) error {
 	cost := v.sess.Master.Cl.Cost
 	return v.zipInvoke(p, from, []*Vector{other}, 0, cost.FlopsPerElem, func(sp ShardSpan) {
 		a, b := sp.Rows[0], sp.Rows[1]
@@ -140,31 +149,73 @@ func (v *Vector) Axpy(p *simnet.Proc, from *simnet.Node, alpha float64, other *V
 	})
 }
 
-// AddVec computes v += other element-wise, server-side.
-func (v *Vector) AddVec(p *simnet.Proc, from *simnet.Node, other *Vector) error {
+// Axpy is TryAxpy panicking on operand or availability errors.
+func (v *Vector) Axpy(p *simnet.Proc, from *simnet.Node, alpha float64, other *Vector) {
+	if err := v.TryAxpy(p, from, alpha, other); err != nil {
+		panic(err)
+	}
+}
+
+// TryAddVec computes v += other element-wise, server-side.
+func (v *Vector) TryAddVec(p *simnet.Proc, from *simnet.Node, other *Vector) error {
 	return v.elementwise(p, from, other, func(a, b float64) float64 { return a + b })
 }
 
-// SubVec computes v -= other element-wise, server-side.
-func (v *Vector) SubVec(p *simnet.Proc, from *simnet.Node, other *Vector) error {
+// AddVec is TryAddVec panicking on operand or availability errors.
+func (v *Vector) AddVec(p *simnet.Proc, from *simnet.Node, other *Vector) {
+	if err := v.TryAddVec(p, from, other); err != nil {
+		panic(err)
+	}
+}
+
+// TrySubVec computes v -= other element-wise, server-side.
+func (v *Vector) TrySubVec(p *simnet.Proc, from *simnet.Node, other *Vector) error {
 	return v.elementwise(p, from, other, func(a, b float64) float64 { return a - b })
 }
 
-// MulVec computes v *= other element-wise, server-side.
-func (v *Vector) MulVec(p *simnet.Proc, from *simnet.Node, other *Vector) error {
+// SubVec is TrySubVec panicking on operand or availability errors.
+func (v *Vector) SubVec(p *simnet.Proc, from *simnet.Node, other *Vector) {
+	if err := v.TrySubVec(p, from, other); err != nil {
+		panic(err)
+	}
+}
+
+// TryMulVec computes v *= other element-wise, server-side.
+func (v *Vector) TryMulVec(p *simnet.Proc, from *simnet.Node, other *Vector) error {
 	return v.elementwise(p, from, other, func(a, b float64) float64 { return a * b })
 }
 
-// DivVec computes v /= other element-wise, server-side. Division by zero
+// MulVec is TryMulVec panicking on operand or availability errors.
+func (v *Vector) MulVec(p *simnet.Proc, from *simnet.Node, other *Vector) {
+	if err := v.TryMulVec(p, from, other); err != nil {
+		panic(err)
+	}
+}
+
+// TryDivVec computes v /= other element-wise, server-side. Division by zero
 // follows IEEE-754 (±Inf/NaN); algorithms that can hit zero denominators add
 // an epsilon, as Adam does.
-func (v *Vector) DivVec(p *simnet.Proc, from *simnet.Node, other *Vector) error {
+func (v *Vector) TryDivVec(p *simnet.Proc, from *simnet.Node, other *Vector) error {
 	return v.elementwise(p, from, other, func(a, b float64) float64 { return a / b })
 }
 
-// CopyFrom overwrites v with other, server-side.
-func (v *Vector) CopyFrom(p *simnet.Proc, from *simnet.Node, other *Vector) error {
+// DivVec is TryDivVec panicking on operand or availability errors.
+func (v *Vector) DivVec(p *simnet.Proc, from *simnet.Node, other *Vector) {
+	if err := v.TryDivVec(p, from, other); err != nil {
+		panic(err)
+	}
+}
+
+// TryCopyFrom overwrites v with other, server-side.
+func (v *Vector) TryCopyFrom(p *simnet.Proc, from *simnet.Node, other *Vector) error {
 	return v.elementwise(p, from, other, func(_, b float64) float64 { return b })
+}
+
+// CopyFrom is TryCopyFrom panicking on operand or availability errors.
+func (v *Vector) CopyFrom(p *simnet.Proc, from *simnet.Node, other *Vector) {
+	if err := v.TryCopyFrom(p, from, other); err != nil {
+		panic(err)
+	}
 }
 
 func (v *Vector) elementwise(p *simnet.Proc, from *simnet.Node, other *Vector, op func(a, b float64) float64) error {
@@ -232,13 +283,13 @@ func (v *Vector) TryZero(p *simnet.Proc, from *simnet.Node) error {
 // callers use TryZero.
 func (v *Vector) Zero(p *simnet.Proc, from *simnet.Node) { v.Fill(p, from, 0) }
 
-// ZipMap runs fn over every shard with all operand slices aligned in server
-// memory — the general server-side computation behind the paper's
+// TryZipMap runs fn over every shard with all operand slices aligned in
+// server memory — the general server-side computation behind the paper's
 // `weight.zip(velocity, square, gradient).mapPartition{ updateModel }`
 // (Figure 3). fn may mutate any of the slices; because mutation must land in
 // live server memory, every operand is required to be co-located with v.
 // workPerElem is the caller's estimate of compute per element per vector.
-func (v *Vector) ZipMap(p *simnet.Proc, from *simnet.Node, workPerElem float64,
+func (v *Vector) TryZipMap(p *simnet.Proc, from *simnet.Node, workPerElem float64,
 	fn func(lo int, rows [][]float64), others ...*Vector) error {
 	for _, ov := range others {
 		if !v.Colocated(ov) {
@@ -248,6 +299,14 @@ func (v *Vector) ZipMap(p *simnet.Proc, from *simnet.Node, workPerElem float64,
 	return v.zipInvoke(p, from, others, 0, workPerElem, func(sp ShardSpan) {
 		fn(sp.Lo, sp.Rows)
 	})
+}
+
+// ZipMap is TryZipMap panicking on operand or availability errors.
+func (v *Vector) ZipMap(p *simnet.Proc, from *simnet.Node, workPerElem float64,
+	fn func(lo int, rows [][]float64), others ...*Vector) {
+	if err := v.TryZipMap(p, from, workPerElem, fn, others...); err != nil {
+		panic(err)
+	}
 }
 
 // ZipReduce runs fn over every shard like ZipMap and collects one result per

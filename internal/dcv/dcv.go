@@ -131,54 +131,132 @@ func (v *Vector) MustDerive() *Vector {
 }
 
 // --- Row access operators (worker <-> server data movement) ---
+//
+// Each operator comes in two forms, following the repo-wide convention
+// documented in ARCHITECTURE.md: TryX returns a typed error when a shard's
+// server stays unreachable (wrapping ps.ErrServerDown) or the calling machine
+// is down (wrapping simnet.ErrNodeDown); the plain form delegates to TryX and
+// panics on those errors, for reliable runs and tests. Argument errors (bad
+// index slice, wrong dimension) panic in both forms.
 
-// Pull fetches the whole vector to the caller's machine. For sparse DCVs the
-// transfer is charged by stored nonzeros.
-func (v *Vector) Pull(p *simnet.Proc, from *simnet.Node) []float64 {
+// TryPull fetches the whole vector to the caller's machine. For sparse DCVs
+// the transfer is charged by stored nonzeros.
+func (v *Vector) TryPull(p *simnet.Proc, from *simnet.Node) ([]float64, error) {
 	if v.sparse {
-		return v.mat.PullRowCompressed(p, from, v.row)
+		return v.mat.TryPullRowCompressed(p, from, v.row)
 	}
-	return v.mat.PullRow(p, from, v.row)
+	return v.mat.TryPullRow(p, from, v.row)
 }
 
-// PullIndices fetches only the given strictly-increasing dimensions — the
+// Pull is TryPull panicking on availability errors.
+func (v *Vector) Pull(p *simnet.Proc, from *simnet.Node) []float64 {
+	row, err := v.TryPull(p, from)
+	if err != nil {
+		panic(err)
+	}
+	return row
+}
+
+// TryPullIndices fetches only the given strictly-increasing dimensions — the
 // sparse pull used when a mini-batch touches a small feature subset.
+func (v *Vector) TryPullIndices(p *simnet.Proc, from *simnet.Node, indices []int) ([]float64, error) {
+	return v.mat.TryPullRowIndices(p, from, v.row, indices)
+}
+
+// PullIndices is TryPullIndices panicking on availability errors.
 func (v *Vector) PullIndices(p *simnet.Proc, from *simnet.Node, indices []int) []float64 {
-	return v.mat.PullRowIndices(p, from, v.row, indices)
+	vals, err := v.TryPullIndices(p, from, indices)
+	if err != nil {
+		panic(err)
+	}
+	return vals
 }
 
-// Add pushes a sparse delta into the vector (the DCV add used as the
+// TryAdd pushes a sparse delta into the vector (the DCV add used as the
 // gradient push in the paper's Figure 3).
+func (v *Vector) TryAdd(p *simnet.Proc, from *simnet.Node, delta *linalg.SparseVector) error {
+	return v.mat.TryPushAdd(p, from, v.row, delta)
+}
+
+// Add is TryAdd panicking on availability errors.
 func (v *Vector) Add(p *simnet.Proc, from *simnet.Node, delta *linalg.SparseVector) {
-	v.mat.PushAdd(p, from, v.row, delta)
+	if err := v.TryAdd(p, from, delta); err != nil {
+		panic(err)
+	}
 }
 
-// AddDense pushes a dense delta into the vector.
+// TryAddDense pushes a dense delta into the vector.
+func (v *Vector) TryAddDense(p *simnet.Proc, from *simnet.Node, delta []float64) error {
+	return v.mat.TryPushAddDense(p, from, v.row, delta)
+}
+
+// AddDense is TryAddDense panicking on availability errors.
 func (v *Vector) AddDense(p *simnet.Proc, from *simnet.Node, delta []float64) {
-	v.mat.PushAddDense(p, from, v.row, delta)
+	if err := v.TryAddDense(p, from, delta); err != nil {
+		panic(err)
+	}
 }
 
-// Set overwrites the vector with the given values.
+// TrySet overwrites the vector with the given values.
+func (v *Vector) TrySet(p *simnet.Proc, from *simnet.Node, values []float64) error {
+	return v.mat.TrySetRow(p, from, v.row, values)
+}
+
+// Set is TrySet panicking on availability errors.
 func (v *Vector) Set(p *simnet.Proc, from *simnet.Node, values []float64) {
-	v.mat.SetRow(p, from, v.row, values)
+	if err := v.TrySet(p, from, values); err != nil {
+		panic(err)
+	}
 }
 
-// Push overwrites the vector (paper terminology for writing a row).
+// TryPush overwrites the vector (paper terminology for writing a row).
+func (v *Vector) TryPush(p *simnet.Proc, from *simnet.Node, values []float64) error {
+	return v.TrySet(p, from, values)
+}
+
+// Push is TryPush panicking on availability errors.
 func (v *Vector) Push(p *simnet.Proc, from *simnet.Node, values []float64) {
 	v.Set(p, from, values)
 }
 
-// Sum returns the sum of all elements, computed server-side.
+// TrySum returns the sum of all elements, computed server-side.
+func (v *Vector) TrySum(p *simnet.Proc, from *simnet.Node) (float64, error) {
+	return v.mat.TryRowSum(p, from, v.row)
+}
+
+// Sum is TrySum panicking on availability errors.
 func (v *Vector) Sum(p *simnet.Proc, from *simnet.Node) float64 {
-	return v.mat.RowSum(p, from, v.row)
+	s, err := v.TrySum(p, from)
+	if err != nil {
+		panic(err)
+	}
+	return s
 }
 
-// Nnz returns the number of nonzero elements, computed server-side.
+// TryNnz returns the number of nonzero elements, computed server-side.
+func (v *Vector) TryNnz(p *simnet.Proc, from *simnet.Node) (int, error) {
+	return v.mat.TryRowNnz(p, from, v.row)
+}
+
+// Nnz is TryNnz panicking on availability errors.
 func (v *Vector) Nnz(p *simnet.Proc, from *simnet.Node) int {
-	return v.mat.RowNnz(p, from, v.row)
+	n, err := v.TryNnz(p, from)
+	if err != nil {
+		panic(err)
+	}
+	return n
 }
 
-// Norm2 returns the Euclidean norm, computed server-side.
+// TryNorm2 returns the Euclidean norm, computed server-side.
+func (v *Vector) TryNorm2(p *simnet.Proc, from *simnet.Node) (float64, error) {
+	return v.mat.TryRowNorm2(p, from, v.row)
+}
+
+// Norm2 is TryNorm2 panicking on availability errors.
 func (v *Vector) Norm2(p *simnet.Proc, from *simnet.Node) float64 {
-	return v.mat.RowNorm2(p, from, v.row)
+	n, err := v.TryNorm2(p, from)
+	if err != nil {
+		panic(err)
+	}
+	return n
 }

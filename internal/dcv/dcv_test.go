@@ -141,7 +141,7 @@ func TestDotColocatedCorrect(t *testing.T) {
 		ones := make([]float64, 64)
 		linalg.Fill(ones, 1)
 		b.Set(p, w, ones)
-		got, err := a.Dot(p, w, b)
+		got, err := a.TryDot(p, w, b)
 		if err != nil {
 			t.Error(err)
 		}
@@ -169,7 +169,7 @@ func TestDotNonColocatedCorrectButCostly(t *testing.T) {
 			a.Set(p, w, seq(10000))
 			b.Set(p, w, seq(10000))
 			before := serverBytes(cl)
-			got, _ = a.Dot(p, w, b)
+			got, _ = a.TryDot(p, w, b)
 			_ = before
 		})
 		return got, serverBytes(cl)
@@ -206,7 +206,7 @@ func TestAxpy(t *testing.T) {
 		ones := make([]float64, 30)
 		linalg.Fill(ones, 2)
 		b.Set(p, w, ones)
-		if err := a.Axpy(p, w, 0.5, b); err != nil {
+		if err := a.TryAxpy(p, w, 0.5, b); err != nil {
 			t.Error(err)
 		}
 		got := a.Pull(p, w)
@@ -241,27 +241,27 @@ func TestElementwiseOps(t *testing.T) {
 			}
 		}
 		reset()
-		if err := a.AddVec(p, w, b); err != nil {
+		if err := a.TryAddVec(p, w, b); err != nil {
 			t.Error(err)
 		}
 		check("add", a.Pull(p, w), func(x, y float64) float64 { return x + y })
 		reset()
-		if err := a.SubVec(p, w, b); err != nil {
+		if err := a.TrySubVec(p, w, b); err != nil {
 			t.Error(err)
 		}
 		check("sub", a.Pull(p, w), func(x, y float64) float64 { return x - y })
 		reset()
-		if err := a.MulVec(p, w, b); err != nil {
+		if err := a.TryMulVec(p, w, b); err != nil {
 			t.Error(err)
 		}
 		check("mul", a.Pull(p, w), func(x, y float64) float64 { return x * y })
 		reset()
-		if err := a.DivVec(p, w, b); err != nil {
+		if err := a.TryDivVec(p, w, b); err != nil {
 			t.Error(err)
 		}
 		check("div", a.Pull(p, w), func(x, y float64) float64 { return x / y })
 		reset()
-		if err := a.CopyFrom(p, w, b); err != nil {
+		if err := a.TryCopyFrom(p, w, b); err != nil {
 			t.Error(err)
 		}
 		check("copy", a.Pull(p, w), func(_, y float64) float64 { return y })
@@ -289,10 +289,10 @@ func TestDimensionMismatchRejected(t *testing.T) {
 	run(sim, func(p *simnet.Proc) {
 		a, _ := sess.Dense(p, 10)
 		b, _ := sess.Dense(p, 20)
-		if _, err := a.Dot(p, cl.Executors[0], b); err == nil {
+		if _, err := a.TryDot(p, cl.Executors[0], b); err == nil {
 			t.Error("dot across dimensions accepted")
 		}
-		if err := a.AddVec(p, cl.Executors[0], b); err == nil {
+		if err := a.TryAddVec(p, cl.Executors[0], b); err == nil {
 			t.Error("add across dimensions accepted")
 		}
 	})
@@ -313,7 +313,7 @@ func TestZipMapAdamStyleUpdate(t *testing.T) {
 		grad.Set(p, worker, gv)
 
 		driverWorkBefore := cl.Driver.WorkDone
-		err := w.ZipMap(p, cl.Driver, 8, func(lo int, rows [][]float64) {
+		err := w.TryZipMap(p, cl.Driver, 8, func(lo int, rows [][]float64) {
 			wt, v, s, g := rows[0], rows[1], rows[2], rows[3]
 			for i := range wt {
 				s[i] = 0.9*s[i] + 0.1*g[i]*g[i]
@@ -344,7 +344,7 @@ func TestZipMapRequiresColocation(t *testing.T) {
 	run(sim, func(p *simnet.Proc) {
 		a, _ := sess.Dense(p, 10)
 		b, _ := sess.Dense(p, 10)
-		err := a.ZipMap(p, cl.Driver, 1, func(int, [][]float64) {}, b)
+		err := a.TryZipMap(p, cl.Driver, 1, func(int, [][]float64) {}, b)
 		if err != ErrNotColocated {
 			t.Errorf("err = %v, want ErrNotColocated", err)
 		}
@@ -472,28 +472,28 @@ func TestColumnOpsOracleProperty(t *testing.T) {
 			for _, op := range ops {
 				switch op % 5 {
 				case 0:
-					if a.AddVec(p, w, b) != nil {
+					if a.TryAddVec(p, w, b) != nil {
 						good = false
 					}
 					for i := range oa {
 						oa[i] += ob[i]
 					}
 				case 1:
-					if a.SubVec(p, w, b) != nil {
+					if a.TrySubVec(p, w, b) != nil {
 						good = false
 					}
 					for i := range oa {
 						oa[i] -= ob[i]
 					}
 				case 2:
-					if a.MulVec(p, w, b) != nil {
+					if a.TryMulVec(p, w, b) != nil {
 						good = false
 					}
 					for i := range oa {
 						oa[i] *= ob[i]
 					}
 				case 3:
-					if a.Axpy(p, w, 0.5, b) != nil {
+					if a.TryAxpy(p, w, 0.5, b) != nil {
 						good = false
 					}
 					for i := range oa {
@@ -535,7 +535,7 @@ func TestElementwiseAcrossIndependentMatrices(t *testing.T) {
 		ones := make([]float64, 40)
 		linalg.Fill(ones, 3)
 		b.Set(p, w, ones)
-		if err := a.AddVec(p, w, b); err != nil {
+		if err := a.TryAddVec(p, w, b); err != nil {
 			t.Error(err)
 		}
 		got := a.Pull(p, w)

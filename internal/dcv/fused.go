@@ -25,7 +25,9 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"strconv"
 
+	"repro/internal/obs"
 	"repro/internal/ps"
 	"repro/internal/simnet"
 )
@@ -323,6 +325,15 @@ func (b *Batch) Run(p *simnet.Proc, from *simnet.Node) error {
 	b.ran = true
 	if len(b.ops) == 0 {
 		return nil
+	}
+	if t := b.sess.Master.Cl.Sim.Tracer(); t != nil {
+		sp := t.Begin(from.ID, from.Name, obs.KBatch, "batch",
+			p.TraceParent(), obs.KV{K: "ops", V: strconv.Itoa(len(b.ops))})
+		prev := p.SetTraceParent(sp)
+		defer func() {
+			p.SetTraceParent(prev)
+			sp.End()
+		}()
 	}
 	ops := make([]ps.InvokeOp, len(b.ops))
 	for i := range b.ops {

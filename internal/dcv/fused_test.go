@@ -246,13 +246,13 @@ func TestZipInvokeRejectsPartitionMismatch(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := a.AddVec(p, cl4.Driver, b); !errors.Is(err, ErrPartitionMismatch) {
+		if err := a.TryAddVec(p, cl4.Driver, b); !errors.Is(err, ErrPartitionMismatch) {
 			t.Fatalf("AddVec err = %v, want ErrPartitionMismatch", err)
 		}
-		if _, err := a.Dot(p, cl4.Driver, b); !errors.Is(err, ErrPartitionMismatch) {
+		if _, err := a.TryDot(p, cl4.Driver, b); !errors.Is(err, ErrPartitionMismatch) {
 			t.Fatalf("Dot err = %v, want ErrPartitionMismatch", err)
 		}
-		if err := a.Axpy(p, cl4.Driver, 1, b); !errors.Is(err, ErrPartitionMismatch) {
+		if err := a.TryAxpy(p, cl4.Driver, 1, b); !errors.Is(err, ErrPartitionMismatch) {
 			t.Fatalf("Axpy err = %v, want ErrPartitionMismatch", err)
 		}
 		// Same layout, different matrix: still allowed via the shuffle path.
@@ -260,7 +260,7 @@ func TestZipInvokeRejectsPartitionMismatch(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := a.AddVec(p, cl4.Driver, c); err != nil {
+		if err := a.TryAddVec(p, cl4.Driver, c); err != nil {
 			t.Fatalf("same-layout shuffle rejected: %v", err)
 		}
 	})

@@ -170,12 +170,12 @@ func Train(p *simnet.Proc, e *core.Engine, dataset *rdd.RDD[data.Instance], dim 
 		}
 		// Server-side SGD step on every model vector, then clear gradients.
 		eta := cfg.LearningRate / math.Sqrt(float64(it+1)) / float64(count)
-		if err := w.Axpy(p, driver, -eta, gradW); err != nil {
+		if err := w.TryAxpy(p, driver, -eta, gradW); err != nil {
 			return nil, err
 		}
 		gradW.Zero(p, driver)
 		for f := 0; f < k; f++ {
-			if err := factors[f].Axpy(p, driver, -eta, gradV[f]); err != nil {
+			if err := factors[f].TryAxpy(p, driver, -eta, gradV[f]); err != nil {
 				return nil, err
 			}
 			gradV[f].Zero(p, driver)

@@ -80,7 +80,7 @@ func (f *FTRL) update(batchSize int) func(lo int, rows [][]float64) {
 }
 
 func (f *FTRL) Step(p *simnet.Proc, e *core.Engine, w, grad *dcv.Vector, iter, batchSize int) error {
-	return w.ZipMap(p, e.Driver(), e.Cluster.Cost.FlopsPerElem*4, f.update(batchSize), f.z, f.n, grad)
+	return w.TryZipMap(p, e.Driver(), e.Cluster.Cost.FlopsPerElem*4, f.update(batchSize), f.z, f.n, grad)
 }
 
 // RecordStep records the same 4-vector zip into a fused batch.

@@ -111,7 +111,7 @@ func TrainLBFGS(p *simnet.Proc, e *core.Engine, dataset *rdd.RDD[data.Instance],
 	}
 
 	dot := func(a, b *dcv.Vector) float64 {
-		v, err := a.Dot(p, driver, b)
+		v, err := a.TryDot(p, driver, b)
 		if err != nil {
 			panic(err)
 		}
@@ -159,7 +159,7 @@ func TrainLBFGS(p *simnet.Proc, e *core.Engine, dataset *rdd.RDD[data.Instance],
 		for k := 0; k < pairs; k++ {
 			i := (next - 1 - k + 2*m) % m
 			alpha[i] = rho[i] * dot(sHist[i], q)
-			must(q.Axpy(p, driver, -alpha[i], yHist[i]))
+			must(q.TryAxpy(p, driver, -alpha[i], yHist[i]))
 		}
 		if pairs > 0 {
 			newest := (next - 1 + m) % m
@@ -171,10 +171,10 @@ func TrainLBFGS(p *simnet.Proc, e *core.Engine, dataset *rdd.RDD[data.Instance],
 		for k := pairs - 1; k >= 0; k-- {
 			i := (next - 1 - k + 2*m) % m
 			beta := rho[i] * dot(yHist[i], q)
-			must(q.Axpy(p, driver, alpha[i]-beta, sHist[i]))
+			must(q.TryAxpy(p, driver, alpha[i]-beta, sHist[i]))
 		}
 		// Descend along -q with a fixed step.
-		must(w.Axpy(p, driver, -cfg.StepSize, q))
+		must(w.TryAxpy(p, driver, -cfg.StepSize, q))
 	}
 	return &Model{Weights: w, Trace: trace}, nil
 }

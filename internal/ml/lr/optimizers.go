@@ -30,7 +30,7 @@ func (s *SGD) Step(p *simnet.Proc, e *core.Engine, w, grad *dcv.Vector, iter, ba
 	if s.Decay {
 		eta /= math.Sqrt(float64(iter))
 	}
-	return w.Axpy(p, e.Driver(), -eta/float64(batchSize), grad)
+	return w.TryAxpy(p, e.Driver(), -eta/float64(batchSize), grad)
 }
 
 // RecordStep records the same axpy into a fused batch.
@@ -101,7 +101,7 @@ func (a *Adam) update(iter, batchSize int) func(lo int, rows [][]float64) {
 }
 
 func (a *Adam) Step(p *simnet.Proc, e *core.Engine, w, grad *dcv.Vector, iter, batchSize int) error {
-	return w.ZipMap(p, e.Driver(), e.Cluster.Cost.FlopsPerElem*3,
+	return w.TryZipMap(p, e.Driver(), e.Cluster.Cost.FlopsPerElem*3,
 		a.update(iter, batchSize), a.velocity, a.square, grad)
 }
 
@@ -148,7 +148,7 @@ func (a *Adagrad) update(batchSize int) func(lo int, rows [][]float64) {
 }
 
 func (a *Adagrad) Step(p *simnet.Proc, e *core.Engine, w, grad *dcv.Vector, iter, batchSize int) error {
-	return w.ZipMap(p, e.Driver(), e.Cluster.Cost.FlopsPerElem*2, a.update(batchSize), a.accum, grad)
+	return w.TryZipMap(p, e.Driver(), e.Cluster.Cost.FlopsPerElem*2, a.update(batchSize), a.accum, grad)
 }
 
 // RecordStep records the same zip into a fused batch.
@@ -194,7 +194,7 @@ func (r *RMSProp) update(batchSize int) func(lo int, rows [][]float64) {
 }
 
 func (r *RMSProp) Step(p *simnet.Proc, e *core.Engine, w, grad *dcv.Vector, iter, batchSize int) error {
-	return w.ZipMap(p, e.Driver(), e.Cluster.Cost.FlopsPerElem*2, r.update(batchSize), r.mean, grad)
+	return w.TryZipMap(p, e.Driver(), e.Cluster.Cost.FlopsPerElem*2, r.update(batchSize), r.mean, grad)
 }
 
 // RecordStep records the same zip into a fused batch.

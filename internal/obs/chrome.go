@@ -1,0 +1,194 @@
+package obs
+
+// Chrome-trace-format export. The output is the JSON object form
+// ({"traceEvents":[...]}) understood by chrome://tracing and Perfetto:
+// every simulated node becomes one process (lane), concurrent spans on a node
+// spread over numbered threads (tracks) so no two slices overlap within a
+// row, and virtual seconds are scaled to the format's microseconds.
+//
+// The writer emits events in recorded order with fixed-precision number
+// formatting, so a deterministic run exports a byte-identical file.
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+)
+
+// NamedTrace pairs a tracer with a label for multi-run export (one process
+// group per run in the merged trace).
+type NamedTrace struct {
+	Name   string
+	Tracer *Tracer
+}
+
+// WriteChrome exports the tracer as Chrome-trace JSON. Open spans are
+// force-closed first (annotated unfinished) so the file always loads.
+func (t *Tracer) WriteChrome(w io.Writer) error {
+	return WriteChromeTraces(w, []NamedTrace{{Tracer: t}})
+}
+
+// WriteChromeTraces exports several tracers into one Chrome-trace JSON file.
+// Each tracer's lanes become processes; with a non-empty Name the process
+// names are prefixed "name/", so merged benchmark traces keep runs apart.
+func WriteChromeTraces(w io.Writer, traces []NamedTrace) error {
+	bw := bufio.NewWriter(w)
+	cw := &chromeWriter{w: bw}
+	cw.raw(`{"traceEvents":[`)
+	pidBase := 0
+	for _, nt := range traces {
+		t := nt.Tracer
+		if t == nil {
+			continue
+		}
+		t.EndOpen()
+		prefix := ""
+		if nt.Name != "" {
+			prefix = nt.Name + "/"
+		}
+		// Lane and track metadata first, in lane order.
+		for li := range t.lanes {
+			lane := &t.lanes[li]
+			pid := pidBase + li + 1
+			cw.meta(pid, -1, "process_name", "name", prefix+lane.Name, 0)
+			cw.meta(pid, -1, "process_sort_index", "sort_index", "", li)
+			tracks := len(lane.tracks)
+			if tracks == 0 {
+				tracks = 1 // instants land on track 0 even with no spans
+			}
+			for tr := 0; tr < tracks; tr++ {
+				name := "ops"
+				if tr > 0 {
+					name = "ops-" + strconv.Itoa(tr)
+				}
+				cw.meta(pid, tr+1, "thread_name", "name", name, 0)
+				cw.meta(pid, tr+1, "thread_sort_index", "sort_index", "", tr)
+			}
+		}
+		for i := range t.events {
+			cw.event(pidBase, &t.events[i])
+		}
+		pidBase += len(t.lanes)
+	}
+	cw.raw("]}\n")
+	if cw.err != nil {
+		return cw.err
+	}
+	return bw.Flush()
+}
+
+type chromeWriter struct {
+	w     *bufio.Writer
+	wrote bool
+	err   error
+}
+
+func (c *chromeWriter) raw(s string) {
+	if c.err == nil {
+		_, c.err = c.w.WriteString(s)
+	}
+}
+
+func (c *chromeWriter) sep() {
+	if c.wrote {
+		c.raw(",")
+	}
+	c.wrote = true
+}
+
+// usec renders virtual seconds as trace microseconds with fixed precision.
+func usec(sec float64) string {
+	return strconv.FormatFloat(sec*1e6, 'f', 3, 64)
+}
+
+// meta emits one metadata record. tid < 0 omits the tid field; valName is the
+// string arg value, used when non-empty, otherwise sortIdx is emitted.
+func (c *chromeWriter) meta(pid, tid int, name, argKey, valName string, sortIdx int) {
+	c.sep()
+	c.raw(`{"ph":"M","pid":`)
+	c.raw(strconv.Itoa(pid))
+	if tid >= 0 {
+		c.raw(`,"tid":`)
+		c.raw(strconv.Itoa(tid))
+	}
+	c.raw(`,"name":"`)
+	c.raw(name)
+	c.raw(`","args":{"`)
+	c.raw(argKey)
+	c.raw(`":`)
+	if valName != "" {
+		c.str(valName)
+	} else {
+		c.raw(strconv.Itoa(sortIdx))
+	}
+	c.raw("}}")
+}
+
+func (c *chromeWriter) event(pidBase int, e *Event) {
+	c.sep()
+	if e.Instant {
+		c.raw(`{"ph":"i","s":"t","pid":`)
+	} else {
+		c.raw(`{"ph":"X","pid":`)
+	}
+	c.raw(strconv.Itoa(pidBase + e.Lane + 1))
+	c.raw(`,"tid":`)
+	c.raw(strconv.Itoa(e.Track + 1))
+	c.raw(`,"ts":`)
+	c.raw(usec(e.Start))
+	if !e.Instant {
+		dur := e.Dur()
+		if dur < 0 {
+			dur = 0
+		}
+		c.raw(`,"dur":`)
+		c.raw(usec(dur))
+	}
+	c.raw(`,"name":`)
+	c.str(e.Name)
+	c.raw(`,"cat":"`)
+	c.raw(e.Kind.String())
+	c.raw(`","args":{"id":"`)
+	c.raw(strconv.FormatUint(e.ID, 10))
+	c.raw(`"`)
+	if e.Parent != 0 {
+		c.raw(`,"parent":"`)
+		c.raw(strconv.FormatUint(e.Parent, 10))
+		c.raw(`"`)
+	}
+	for _, kv := range e.Args {
+		c.raw(",")
+		c.str(kv.K)
+		c.raw(":")
+		c.str(kv.V)
+	}
+	c.raw("}}")
+}
+
+// str writes a JSON string literal with the escapes our controlled inputs
+// can need.
+func (c *chromeWriter) str(s string) {
+	if c.err != nil {
+		return
+	}
+	buf := make([]byte, 0, len(s)+2)
+	buf = append(buf, '"')
+	for i := 0; i < len(s); i++ {
+		b := s[i]
+		switch {
+		case b == '"' || b == '\\':
+			buf = append(buf, '\\', b)
+		case b == '\n':
+			buf = append(buf, '\\', 'n')
+		case b == '\t':
+			buf = append(buf, '\\', 't')
+		case b < 0x20:
+			const hex = "0123456789abcdef"
+			buf = append(buf, '\\', 'u', '0', '0', hex[b>>4], hex[b&0xf])
+		default:
+			buf = append(buf, b)
+		}
+	}
+	buf = append(buf, '"')
+	_, c.err = c.w.Write(buf)
+}

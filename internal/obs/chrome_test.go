@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// driveTracer records a small fixed scene: an RPC on node 1 containing a send,
+// a server op on node 2, a dedup instant, and a span left open.
+func driveTracer(c *fakeClock) *Tracer {
+	tr := New(c.now)
+	rpc := tr.Begin(1, "driver", KRPC, "call shard", Span{}, KV{"shard", "0"})
+	c.advance(0.5)
+	send := tr.Begin(1, "driver", KNetSend, "send", rpc)
+	c.advance(1)
+	send.End()
+	op := tr.Begin(2, "server-0", KServerOp, "pull", rpc)
+	c.advance(0.25)
+	op.End(KV{"bytes", "4096"})
+	tr.Instant(2, "server-0", KDedupHit, "pull")
+	rpc.End()
+	tr.Begin(2, "server-0", KCheckpoint, "ckpt", Span{}) // left open
+	c.advance(1)
+	return tr
+}
+
+type chromeEvent struct {
+	Ph   string         `json:"ph"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Args map[string]any `json:"args"` // metadata args are numbers, event args strings
+}
+
+func TestWriteChromeValidJSON(t *testing.T) {
+	c := &fakeClock{}
+	tr := driveTracer(c)
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v\n%s", err, buf.String())
+	}
+
+	var meta, complete, instant int
+	byName := map[string]chromeEvent{}
+	for _, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "M":
+			meta++
+		case "X":
+			complete++
+			byName[e.Name] = e
+		case "i":
+			instant++
+		default:
+			t.Fatalf("unexpected phase %q", e.Ph)
+		}
+	}
+	if complete != 4 || instant != 1 || meta == 0 {
+		t.Fatalf("event mix M=%d X=%d i=%d, want X=4 i=1 M>0", meta, complete, instant)
+	}
+
+	// The send slice: 1s starting at 0.5s, nested on the rpc's row of lane 0.
+	send := byName["send"]
+	if send.Ts != 0.5e6 || send.Dur != 1e6 {
+		t.Fatalf("send ts/dur = %v/%v, want 5e5/1e6", send.Ts, send.Dur)
+	}
+	rpc := byName["call shard"]
+	if send.Pid != rpc.Pid || send.Tid != rpc.Tid {
+		t.Fatal("nested send not on the rpc's pid/tid")
+	}
+	if send.Args["parent"] != rpc.Args["id"] {
+		t.Fatalf("send parent %q != rpc id %q", send.Args["parent"], rpc.Args["id"])
+	}
+	// The server op lives on the second lane (its own process).
+	op := byName["pull"]
+	if op.Pid == rpc.Pid {
+		t.Fatal("server op exported on the driver's process")
+	}
+	if op.Cat != "ps.op" || op.Args["bytes"] != "4096" {
+		t.Fatalf("op cat/args wrong: %+v", op)
+	}
+	// The abandoned span was force-closed and flagged.
+	ckpt := byName["ckpt"]
+	if ckpt.Args["unfinished"] != "true" {
+		t.Fatalf("open span not annotated unfinished: %+v", ckpt)
+	}
+}
+
+func TestWriteChromeDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	ca, cb := &fakeClock{}, &fakeClock{}
+	if err := driveTracer(ca).WriteChrome(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := driveTracer(cb).WriteChrome(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("identical event sequences exported different bytes")
+	}
+}
+
+func TestWriteChromeTracesMerged(t *testing.T) {
+	c1, c2 := &fakeClock{}, &fakeClock{}
+	var buf bytes.Buffer
+	err := WriteChromeTraces(&buf, []NamedTrace{
+		{Name: "run-a", Tracer: driveTracer(c1)},
+		{Tracer: nil}, // skipped
+		{Name: "run-b", Tracer: driveTracer(c2)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("merged export invalid: %v", err)
+	}
+	// Process names are prefixed per run so the lanes stay apart.
+	s := buf.String()
+	for _, want := range []string{`"run-a/driver"`, `"run-b/driver"`, `"run-a/server-0"`, `"run-b/server-0"`} {
+		if !bytes.Contains([]byte(s), []byte(want)) {
+			t.Fatalf("merged trace missing process name %s", want)
+		}
+	}
+}

@@ -1,0 +1,228 @@
+package obs
+
+// The metrics registry: counters, gauges and histograms keyed by (node,
+// subsystem, name). It absorbs the scattered per-struct counters the system
+// grew before this layer existed (NetStats, RecoveryStats, the utilization
+// report): Engine.Snapshot() assembles the typed view and fills a registry
+// with the flat one. Like the tracer, a nil *Registry no-ops every method.
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Key identifies one metric series.
+type Key struct {
+	Node string // lane name ("server-3", "driver", …) or "" for run-wide
+	Sub  string // subsystem ("net", "ps", "rdd", "recovery", "trace", …)
+	Name string
+}
+
+func (k Key) String() string {
+	node := k.Node
+	if node == "" {
+		node = "_"
+	}
+	return node + "/" + k.Sub + "/" + k.Name
+}
+
+// HistBuckets is the number of log-scale histogram buckets. Bucket i counts
+// observations in [10^(i-HistZero-1), 10^(i-HistZero)), so the default range
+// spans 1e-9 .. 1e+5 with underflow in bucket 0 and overflow in the last.
+const (
+	HistBuckets = 15
+	HistZero    = 9 // bucket index holding values in [0.1, 1)
+)
+
+// Histogram is a fixed-shape log-scale histogram with summary stats.
+type Histogram struct {
+	Count   uint64
+	Sum     float64
+	Min     float64
+	Max     float64
+	Buckets [HistBuckets]uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h.Count == 0 || v < h.Min {
+		h.Min = v
+	}
+	if h.Count == 0 || v > h.Max {
+		h.Max = v
+	}
+	h.Count++
+	h.Sum += v
+	h.Buckets[histBucket(v)]++
+}
+
+func histBucket(v float64) int {
+	if v <= 0 || math.IsNaN(v) {
+		return 0
+	}
+	// ceil(log10(v)) + HistZero, clamped.
+	b := int(math.Ceil(math.Log10(v))) + HistZero
+	if b < 0 {
+		b = 0
+	}
+	if b >= HistBuckets {
+		b = HistBuckets - 1
+	}
+	return b
+}
+
+// Mean returns the average observation, or 0 when empty.
+func (h *Histogram) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.Sum / float64(h.Count)
+}
+
+// Registry stores metric series. The zero value is not usable; create one
+// with NewRegistry. A nil *Registry is the disabled registry.
+type Registry struct {
+	counters map[Key]float64
+	gauges   map[Key]float64
+	hists    map[Key]*Histogram
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[Key]float64{},
+		gauges:   map[Key]float64{},
+		hists:    map[Key]*Histogram{},
+	}
+}
+
+// Add increments the counter (node, sub, name) by v.
+func (r *Registry) Add(node, sub, name string, v float64) {
+	if r == nil {
+		return
+	}
+	r.counters[Key{node, sub, name}] += v
+}
+
+// Set sets the gauge (node, sub, name) to v.
+func (r *Registry) Set(node, sub, name string, v float64) {
+	if r == nil {
+		return
+	}
+	r.gauges[Key{node, sub, name}] = v
+}
+
+// Observe records v into the histogram (node, sub, name).
+func (r *Registry) Observe(node, sub, name string, v float64) {
+	if r == nil {
+		return
+	}
+	k := Key{node, sub, name}
+	h := r.hists[k]
+	if h == nil {
+		h = &Histogram{}
+		r.hists[k] = h
+	}
+	h.Observe(v)
+}
+
+// Counter returns the current counter value (0 when absent or nil registry).
+func (r *Registry) Counter(node, sub, name string) float64 {
+	if r == nil {
+		return 0
+	}
+	return r.counters[Key{node, sub, name}]
+}
+
+// Gauge returns the current gauge value (0 when absent).
+func (r *Registry) Gauge(node, sub, name string) float64 {
+	if r == nil {
+		return 0
+	}
+	return r.gauges[Key{node, sub, name}]
+}
+
+// Hist returns the histogram for the key, or nil.
+func (r *Registry) Hist(node, sub, name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.hists[Key{node, sub, name}]
+}
+
+// MetricPoint is one exported series.
+type MetricPoint struct {
+	Key   Key
+	Type  string // "counter", "gauge", "hist"
+	Value float64
+	Hist  *Histogram // set for histograms
+}
+
+// Export returns every series sorted by (subsystem, node, name) — a stable,
+// diff-friendly order.
+func (r *Registry) Export() []MetricPoint {
+	if r == nil {
+		return nil
+	}
+	out := make([]MetricPoint, 0, len(r.counters)+len(r.gauges)+len(r.hists))
+	for k, v := range r.counters {
+		out = append(out, MetricPoint{Key: k, Type: "counter", Value: v})
+	}
+	for k, v := range r.gauges {
+		out = append(out, MetricPoint{Key: k, Type: "gauge", Value: v})
+	}
+	for k, h := range r.hists {
+		out = append(out, MetricPoint{Key: k, Type: "hist", Value: h.Mean(), Hist: h})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Key, out[j].Key
+		if a.Sub != b.Sub {
+			return a.Sub < b.Sub
+		}
+		if a.Node != b.Node {
+			return a.Node < b.Node
+		}
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		return out[i].Type < out[j].Type
+	})
+	return out
+}
+
+// WriteTo renders the registry as sorted "key type value" lines. The output
+// is byte-deterministic for a deterministic run.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	var n int64
+	for _, m := range r.Export() {
+		var line string
+		if m.Type == "hist" {
+			line = fmt.Sprintf("%s hist count=%d sum=%s min=%s max=%s\n",
+				m.Key, m.Hist.Count, fnum(m.Hist.Sum), fnum(m.Hist.Min), fnum(m.Hist.Max))
+		} else {
+			line = fmt.Sprintf("%s %s %s\n", m.Key, m.Type, fnum(m.Value))
+		}
+		k, err := io.WriteString(w, line)
+		n += int64(k)
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// String renders the registry (see WriteTo).
+func (r *Registry) String() string {
+	var b strings.Builder
+	_, _ = r.WriteTo(&b)
+	return b.String()
+}
+
+// fnum formats a float deterministically and compactly.
+func fnum(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

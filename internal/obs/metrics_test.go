@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNilRegistryNoOps(t *testing.T) {
+	var r *Registry
+	r.Add("n", "s", "x", 1)
+	r.Set("n", "s", "x", 1)
+	r.Observe("n", "s", "x", 1)
+	if r.Counter("n", "s", "x") != 0 || r.Gauge("n", "s", "x") != 0 || r.Hist("n", "s", "x") != nil {
+		t.Fatal("nil registry stored something")
+	}
+	if r.Export() != nil {
+		t.Fatal("nil Export non-nil")
+	}
+}
+
+func TestRegistryCountersGauges(t *testing.T) {
+	r := NewRegistry()
+	r.Add("server-1", "net", "calls", 2)
+	r.Add("server-1", "net", "calls", 3)
+	if got := r.Counter("server-1", "net", "calls"); got != 5 {
+		t.Fatalf("counter = %v, want 5", got)
+	}
+	r.Set("", "run", "wall.sec", 1.5)
+	r.Set("", "run", "wall.sec", 2.5)
+	if got := r.Gauge("", "run", "wall.sec"); got != 2.5 {
+		t.Fatalf("gauge = %v, want 2.5 (set overwrites)", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	r := NewRegistry()
+	for _, v := range []float64{0.5, 0.05, 50, 0.5} {
+		r.Observe("", "rpc", "latency", v)
+	}
+	h := r.Hist("", "rpc", "latency")
+	if h.Count != 4 {
+		t.Fatalf("count = %d, want 4", h.Count)
+	}
+	if h.Min != 0.05 || h.Max != 50 {
+		t.Fatalf("min/max = %v/%v, want 0.05/50", h.Min, h.Max)
+	}
+	if got, want := h.Mean(), (0.5+0.05+50+0.5)/4; got != want {
+		t.Fatalf("mean = %v, want %v", got, want)
+	}
+	if h.Buckets[HistZero] != 2 { // two 0.5s in [0.1, 1)
+		t.Fatalf("bucket[HistZero] = %d, want 2", h.Buckets[HistZero])
+	}
+	// Degenerate inputs land in the underflow bucket rather than panicking.
+	if histBucket(0) != 0 || histBucket(-3) != 0 {
+		t.Fatal("non-positive values not clamped to bucket 0")
+	}
+	if histBucket(1e300) != HistBuckets-1 {
+		t.Fatal("huge value not clamped to the overflow bucket")
+	}
+}
+
+func TestExportSortedAndRendered(t *testing.T) {
+	r := NewRegistry()
+	r.Set("", "run", "wall.sec", 2)
+	r.Add("server-1", "net", "calls", 7)
+	r.Observe("", "rpc", "latency", 0.25)
+	pts := r.Export()
+	if len(pts) != 3 {
+		t.Fatalf("export len = %d, want 3", len(pts))
+	}
+	// Sorted by (sub, node, name): net < rpc < run.
+	if pts[0].Key.Sub != "net" || pts[1].Key.Sub != "rpc" || pts[2].Key.Sub != "run" {
+		t.Fatalf("export order wrong: %+v", pts)
+	}
+	out := r.String()
+	for _, want := range []string{
+		"server-1/net/calls counter 7\n",
+		"_/run/wall.sec gauge 2\n",
+		"_/rpc/latency hist count=1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered output missing %q:\n%s", want, out)
+		}
+	}
+	// Rendering twice is byte-identical (map iteration must not leak through).
+	if again := r.String(); again != out {
+		t.Fatal("registry rendering not deterministic")
+	}
+}

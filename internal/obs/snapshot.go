@@ -1,0 +1,189 @@
+package obs
+
+// Snapshot is the single reporting surface of a run. Engine.Snapshot()
+// assembles one from the cluster counters, the PS master's stats and (when
+// tracing is on) the tracer's phase aggregates; the legacy Report() /
+// RecoveryReport() accessors are thin views over it. The sub-structs are
+// plain data so obs stays a leaf package.
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Snapshot is the full end-of-run report.
+type Snapshot struct {
+	WallSec float64 // virtual time at which the job finished
+	Events  uint64  // simulation events processed
+
+	Net      NetSnapshot
+	Recovery RecoverySnapshot
+	Fusion   FusionSnapshot
+	Phases   PhaseSnapshot
+}
+
+// NetSnapshot is the communication view: RPC-layer counters from the PS
+// master plus NIC byte counters grouped by role.
+type NetSnapshot struct {
+	RPCCalls     uint64 // logical shard calls
+	RPCAttempts  uint64 // raw send attempts (> RPCCalls under chaos retries)
+	DedupPruned  uint64 // dedup entries retired by the ack watermark
+	MessagesLost uint64 // messages the chaos layer dropped
+
+	DriverSentMB   float64
+	DriverRecvMB   float64
+	ExecutorSentMB float64
+	ExecutorRecvMB float64
+	ServerSentMB   float64
+	ServerRecvMB   float64
+}
+
+// TotalMB returns all bytes put on the wire, in MB.
+func (n NetSnapshot) TotalMB() float64 {
+	return n.DriverSentMB + n.ExecutorSentMB + n.ServerSentMB
+}
+
+// RecoverySnapshot is the self-healing view: crashes, detection latency,
+// recovery time, checkpoint and restore traffic.
+type RecoverySnapshot struct {
+	ServerCrashes    int     // environment-injected server crashes
+	Detections       int     // servers the monitor declared dead
+	DetectLatencySum float64 // seconds from crash to declaration, summed
+	Recoveries       int     // completed recovery runs
+	RecoverySecSum   float64 // seconds spent restoring, summed
+
+	RestoreBytes       float64 // checkpoint bytes replayed store → replacement
+	ZeroRestoredShards int     // shards reallocated as zeros (no checkpoint)
+
+	CheckpointBytesWritten float64 // what actually crossed the wire
+	CheckpointBytesFull    float64 // what full snapshots would have cost
+}
+
+// MeanDetectLatency returns the average crash-to-detection latency in
+// seconds, or 0 when nothing was detected.
+func (r RecoverySnapshot) MeanDetectLatency() float64 {
+	if r.Detections == 0 {
+		return 0
+	}
+	return r.DetectLatencySum / float64(r.Detections)
+}
+
+// MeanRecoverySec returns the average restore duration in seconds, or 0.
+func (r RecoverySnapshot) MeanRecoverySec() float64 {
+	if r.Recoveries == 0 {
+		return 0
+	}
+	return r.RecoverySecSum / float64(r.Recoveries)
+}
+
+// FusionSnapshot is the operator-fusion view.
+type FusionSnapshot struct {
+	Batches  uint64 // fused batch executions (dcv.Batch.Run fan-outs)
+	FusedOps uint64 // column ops that rode a fused request
+}
+
+// PhaseSnapshot answers "where did the time go". The span-derived fields
+// (Comm/Wait/Recovery, from the tracer) are zero when the run was untraced —
+// Traced says which; the core-second fields come from node counters and are
+// always present.
+type PhaseSnapshot struct {
+	Traced bool
+	PhaseBreakdown
+
+	ExecutorCoreSec float64
+	ServerCoreSec   float64
+}
+
+// Summary renders the breakdown as a compact line, the form benchmarks print
+// next to their tables. Percentages are shares of the total accounted
+// resource-seconds (compute core-seconds plus traced comm/wait/recovery span
+// time) — lanes run concurrently, so the total can exceed wallSec and a
+// percent-of-wall reading would be meaningless.
+func (p PhaseSnapshot) Summary(wallSec float64) string {
+	compute := p.ExecutorCoreSec + p.ServerCoreSec
+	total := compute + p.CommSec + p.WaitSec + p.RecoverySec
+	pct := func(v float64) string {
+		if total <= 0 {
+			return "n/a"
+		}
+		return fmt.Sprintf("%.1f%%", 100*v/total)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "over %.2fs wall: compute %s (exec %.2f + srv %.2f core-s)",
+		wallSec, pct(compute), p.ExecutorCoreSec, p.ServerCoreSec)
+	if p.Traced {
+		fmt.Fprintf(&b, ", comm %s (%.2fs)", pct(p.CommSec), p.CommSec)
+		fmt.Fprintf(&b, ", wait %s (%.2fs)", pct(p.WaitSec), p.WaitSec)
+		fmt.Fprintf(&b, ", recovery %s (%.2fs)", pct(p.RecoverySec), p.RecoverySec)
+	} else {
+		b.WriteString(", comm/wait/recovery: untraced")
+	}
+	return b.String()
+}
+
+// String renders the snapshot as a short multi-line report.
+func (s Snapshot) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "wall %.2fs, %d events\n", s.WallSec, s.Events)
+	fmt.Fprintf(&b, "net: %d RPCs (%d attempts), driver %.1f/%.1f MB out/in, executors %.1f/%.1f MB, servers %.1f/%.1f MB",
+		s.Net.RPCCalls, s.Net.RPCAttempts,
+		s.Net.DriverSentMB, s.Net.DriverRecvMB,
+		s.Net.ExecutorSentMB, s.Net.ExecutorRecvMB,
+		s.Net.ServerSentMB, s.Net.ServerRecvMB)
+	if s.Net.MessagesLost > 0 {
+		fmt.Fprintf(&b, ", %d lost", s.Net.MessagesLost)
+	}
+	b.WriteByte('\n')
+	if s.Fusion.Batches > 0 || s.Fusion.FusedOps > 0 {
+		fmt.Fprintf(&b, "fusion: %d batches carrying %d ops\n", s.Fusion.Batches, s.Fusion.FusedOps)
+	}
+	if s.Recovery.ServerCrashes > 0 || s.Recovery.Recoveries > 0 {
+		fmt.Fprintf(&b, "recovery: %d crashes, %d detected (mean %.2fs), %d recovered (mean %.2fs), %.1f MB restored\n",
+			s.Recovery.ServerCrashes, s.Recovery.Detections, s.Recovery.MeanDetectLatency(),
+			s.Recovery.Recoveries, s.Recovery.MeanRecoverySec(), s.Recovery.RestoreBytes/1e6)
+	}
+	fmt.Fprintf(&b, "phases: %s", s.Phases.Summary(s.WallSec))
+	return b.String()
+}
+
+// Fill writes the snapshot's scalar fields into a registry under run-wide
+// keys (Node == ""), the flat form the metrics dump and sidecar files use.
+func (s Snapshot) Fill(r *Registry) {
+	if r == nil {
+		return
+	}
+	r.Set("", "run", "wall.sec", s.WallSec)
+	r.Set("", "run", "events", float64(s.Events))
+
+	r.Set("", "net", "rpc.calls", float64(s.Net.RPCCalls))
+	r.Set("", "net", "rpc.attempts", float64(s.Net.RPCAttempts))
+	r.Set("", "net", "dedup.pruned", float64(s.Net.DedupPruned))
+	r.Set("", "net", "messages.lost", float64(s.Net.MessagesLost))
+	r.Set("", "net", "driver.sent.mb", s.Net.DriverSentMB)
+	r.Set("", "net", "driver.recv.mb", s.Net.DriverRecvMB)
+	r.Set("", "net", "executor.sent.mb", s.Net.ExecutorSentMB)
+	r.Set("", "net", "executor.recv.mb", s.Net.ExecutorRecvMB)
+	r.Set("", "net", "server.sent.mb", s.Net.ServerSentMB)
+	r.Set("", "net", "server.recv.mb", s.Net.ServerRecvMB)
+
+	r.Set("", "fusion", "batches", float64(s.Fusion.Batches))
+	r.Set("", "fusion", "fused.ops", float64(s.Fusion.FusedOps))
+
+	r.Set("", "recovery", "crashes", float64(s.Recovery.ServerCrashes))
+	r.Set("", "recovery", "detections", float64(s.Recovery.Detections))
+	r.Set("", "recovery", "recoveries", float64(s.Recovery.Recoveries))
+	r.Set("", "recovery", "detect.latency.sec", s.Recovery.DetectLatencySum)
+	r.Set("", "recovery", "recovery.sec", s.Recovery.RecoverySecSum)
+	r.Set("", "recovery", "restore.bytes", s.Recovery.RestoreBytes)
+	r.Set("", "recovery", "zero.restored.shards", float64(s.Recovery.ZeroRestoredShards))
+	r.Set("", "recovery", "checkpoint.bytes.written", s.Recovery.CheckpointBytesWritten)
+	r.Set("", "recovery", "checkpoint.bytes.full", s.Recovery.CheckpointBytesFull)
+
+	r.Set("", "phases", "executor.core.sec", s.Phases.ExecutorCoreSec)
+	r.Set("", "phases", "server.core.sec", s.Phases.ServerCoreSec)
+	if s.Phases.Traced {
+		r.Set("", "phases", "comm.sec", s.Phases.CommSec)
+		r.Set("", "phases", "wait.sec", s.Phases.WaitSec)
+		r.Set("", "phases", "recovery.sec", s.Phases.RecoverySec)
+	}
+}

@@ -3,8 +3,10 @@ package ps
 import (
 	"fmt"
 	"math"
+	"strconv"
 
 	"repro/internal/linalg"
+	"repro/internal/obs"
 	"repro/internal/simnet"
 )
 
@@ -18,10 +20,14 @@ import (
 // Every operator fans out one CallShard per shard (see rpc.go), so all of
 // them transparently ride out message loss and server crashes: a request
 // that races a crash blocks in retry/backoff until the failure detector has
-// swapped in a replacement, then lands on the restored shard. The plain
-// operators keep their non-error signatures and panic with an error wrapping
-// ErrServerDown only when MaxRetries is exhausted; Try variants of the two
-// hottest operators return that error instead.
+// swapped in a replacement, then lands on the restored shard.
+//
+// Every operator comes in two forms, uniformly: TryX returns a typed error
+// (wrapping ErrServerDown or simnet.ErrNodeDown) when a shard stays
+// unreachable past the retry budget, and the plain X delegates to TryX and
+// panics on that error — for jobs that treat an unrecoverable cluster as
+// fatal. Argument-validation failures (bad row, wrong dimension) are
+// programming errors and panic in both forms.
 
 // PullRow fetches one full row from all servers in parallel and assembles it
 // at the caller. Every server ships its [lo,hi) stretch of the row, so the
@@ -35,8 +41,8 @@ func (mat *Matrix) PullRow(p *simnet.Proc, from *simnet.Node, row int) []float64
 	return out
 }
 
-// TryPullRow is PullRow returning a typed error (wrapping ErrServerDown or
-// simnet.ErrNodeDown) instead of panicking when a shard stays unreachable.
+// TryPullRow is PullRow returning a typed error instead of panicking when a
+// shard stays unreachable.
 func (mat *Matrix) TryPullRow(p *simnet.Proc, from *simnet.Node, row int) ([]float64, error) {
 	mat.checkRow(row)
 	cost := mat.master.Cl.Cost
@@ -48,6 +54,7 @@ func (mat *Matrix) TryPullRow(p *simnet.Proc, from *simnet.Node, row int) ([]flo
 		g.Go("pull", func(cp *simnet.Proc) {
 			lo, hi := mat.Part.Range(s)
 			errs[s] = mat.CallShard(cp, from, CallSpec{
+				Name:      "pull",
 				Shard:     s,
 				ReqBytes:  cost.RequestOverheadB,
 				RespBytes: cost.DenseBytes(hi - lo),
@@ -66,6 +73,16 @@ func (mat *Matrix) TryPullRow(p *simnet.Proc, from *simnet.Node, row int) ([]flo
 // each shard as (index, value) pairs — the transfer a sparse server-side
 // representation would cost. Used by sparse DCVs.
 func (mat *Matrix) PullRowCompressed(p *simnet.Proc, from *simnet.Node, row int) []float64 {
+	out, err := mat.TryPullRowCompressed(p, from, row)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// TryPullRowCompressed is PullRowCompressed returning a typed error instead
+// of panicking when a shard stays unreachable.
+func (mat *Matrix) TryPullRowCompressed(p *simnet.Proc, from *simnet.Node, row int) ([]float64, error) {
 	mat.checkRow(row)
 	cost := mat.master.Cl.Cost
 	out := make([]float64, mat.Dim)
@@ -75,6 +92,7 @@ func (mat *Matrix) PullRowCompressed(p *simnet.Proc, from *simnet.Node, row int)
 		s := s
 		g.Go("pull-compressed", func(cp *simnet.Proc) {
 			errs[s] = mat.CallShard(cp, from, CallSpec{
+				Name:     "pull-compressed",
 				Shard:    s,
 				ReqBytes: cost.RequestOverheadB,
 				Work:     func(w int) float64 { return cost.ElemWork(w) },
@@ -91,10 +109,7 @@ func (mat *Matrix) PullRowCompressed(p *simnet.Proc, from *simnet.Node, row int)
 		})
 	}
 	g.Wait(p)
-	if err := firstError(errs); err != nil {
-		panic(err)
-	}
-	return out
+	return out, firstError(errs)
 }
 
 // ServerNode returns the machine hosting logical shard s (exported for the
@@ -111,6 +126,16 @@ func (mat *Matrix) ShardOf(s int) *Shard { return mat.shardOn(s) }
 // over Petuum ("PS2 supports sparse communication and only pulls the needed
 // model parameters"). Returns values aligned with indices.
 func (mat *Matrix) PullRowIndices(p *simnet.Proc, from *simnet.Node, row int, indices []int) []float64 {
+	out, err := mat.TryPullRowIndices(p, from, row, indices)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// TryPullRowIndices is PullRowIndices returning a typed error instead of
+// panicking when a shard stays unreachable.
+func (mat *Matrix) TryPullRowIndices(p *simnet.Proc, from *simnet.Node, row int, indices []int) ([]float64, error) {
 	mat.checkRow(row)
 	cost := mat.master.Cl.Cost
 	out := make([]float64, len(indices))
@@ -127,6 +152,7 @@ func (mat *Matrix) PullRowIndices(p *simnet.Proc, from *simnet.Node, row int, in
 		offset += len(idx)
 		g.Go("pull-sparse", func(cp *simnet.Proc) {
 			errs[s] = mat.CallShard(cp, from, CallSpec{
+				Name:  "pull-sparse",
 				Shard: s,
 				// Request carries the indices; response carries the values.
 				ReqBytes:  cost.RequestOverheadB + 4*float64(len(idx)),
@@ -141,10 +167,7 @@ func (mat *Matrix) PullRowIndices(p *simnet.Proc, from *simnet.Node, row int, in
 		})
 	}
 	g.Wait(p)
-	if err := firstError(errs); err != nil {
-		panic(err)
-	}
-	return out
+	return out, firstError(errs)
 }
 
 // PushAdd adds a sparse delta into a row, splitting the update across the
@@ -157,8 +180,8 @@ func (mat *Matrix) PushAdd(p *simnet.Proc, from *simnet.Node, row int, delta *li
 	}
 }
 
-// TryPushAdd is PushAdd returning a typed error (wrapping ErrServerDown or
-// simnet.ErrNodeDown) instead of panicking when a shard stays unreachable.
+// TryPushAdd is PushAdd returning a typed error instead of panicking when a
+// shard stays unreachable.
 func (mat *Matrix) TryPushAdd(p *simnet.Proc, from *simnet.Node, row int, delta *linalg.SparseVector) error {
 	mat.checkRow(row)
 	cost := mat.master.Cl.Cost
@@ -175,6 +198,7 @@ func (mat *Matrix) TryPushAdd(p *simnet.Proc, from *simnet.Node, row int, delta 
 		offset += len(idx)
 		g.Go("push", func(cp *simnet.Proc) {
 			errs[s] = mat.CallShard(cp, from, CallSpec{
+				Name:      "push-add",
 				Shard:     s,
 				ReqBytes:  cost.SparseBytes(len(idx)),
 				RespBytes: cost.RequestOverheadB, // ack
@@ -196,6 +220,14 @@ func (mat *Matrix) TryPushAdd(p *simnet.Proc, from *simnet.Node, row int, delta 
 // PushAddDense adds a dense delta into a row, shipping each server its full
 // column range.
 func (mat *Matrix) PushAddDense(p *simnet.Proc, from *simnet.Node, row int, delta []float64) {
+	if err := mat.TryPushAddDense(p, from, row, delta); err != nil {
+		panic(err)
+	}
+}
+
+// TryPushAddDense is PushAddDense returning a typed error instead of
+// panicking when a shard stays unreachable.
+func (mat *Matrix) TryPushAddDense(p *simnet.Proc, from *simnet.Node, row int, delta []float64) error {
 	mat.checkRow(row)
 	if len(delta) != mat.Dim {
 		panic(fmt.Sprintf("ps: PushAddDense got %d values for dim %d", len(delta), mat.Dim))
@@ -208,6 +240,7 @@ func (mat *Matrix) PushAddDense(p *simnet.Proc, from *simnet.Node, row int, delt
 		g.Go("push-dense", func(cp *simnet.Proc) {
 			lo, hi := mat.Part.Range(s)
 			errs[s] = mat.CallShard(cp, from, CallSpec{
+				Name:      "push-dense",
 				Shard:     s,
 				ReqBytes:  cost.DenseBytes(hi - lo),
 				RespBytes: cost.RequestOverheadB, // ack
@@ -223,13 +256,19 @@ func (mat *Matrix) PushAddDense(p *simnet.Proc, from *simnet.Node, row int, delt
 		})
 	}
 	g.Wait(p)
-	if err := firstError(errs); err != nil {
-		panic(err)
-	}
+	return firstError(errs)
 }
 
 // SetRow overwrites a row (used to initialize models).
 func (mat *Matrix) SetRow(p *simnet.Proc, from *simnet.Node, row int, values []float64) {
+	if err := mat.TrySetRow(p, from, row, values); err != nil {
+		panic(err)
+	}
+}
+
+// TrySetRow is SetRow returning a typed error instead of panicking when a
+// shard stays unreachable.
+func (mat *Matrix) TrySetRow(p *simnet.Proc, from *simnet.Node, row int, values []float64) error {
 	mat.checkRow(row)
 	if len(values) != mat.Dim {
 		panic(fmt.Sprintf("ps: SetRow got %d values for dim %d", len(values), mat.Dim))
@@ -242,6 +281,7 @@ func (mat *Matrix) SetRow(p *simnet.Proc, from *simnet.Node, row int, values []f
 		g.Go("set-row", func(cp *simnet.Proc) {
 			lo, hi := mat.Part.Range(s)
 			errs[s] = mat.CallShard(cp, from, CallSpec{
+				Name:      "set-row",
 				Shard:     s,
 				ReqBytes:  cost.DenseBytes(hi - lo),
 				RespBytes: cost.RequestOverheadB,
@@ -254,9 +294,7 @@ func (mat *Matrix) SetRow(p *simnet.Proc, from *simnet.Node, row int, values []f
 		})
 	}
 	g.Wait(p)
-	if err := firstError(errs); err != nil {
-		panic(err)
-	}
+	return firstError(errs)
 }
 
 // PullRowRange fetches the columns [lo, hi) of one row, touching only the
@@ -264,6 +302,16 @@ func (mat *Matrix) SetRow(p *simnet.Proc, from *simnet.Node, row int, values []f
 // partitions a model update across workers: worker i pulls and rewrites its
 // slice of every model vector.
 func (mat *Matrix) PullRowRange(p *simnet.Proc, from *simnet.Node, row, lo, hi int) []float64 {
+	out, err := mat.TryPullRowRange(p, from, row, lo, hi)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// TryPullRowRange is PullRowRange returning a typed error instead of
+// panicking when a shard stays unreachable.
+func (mat *Matrix) TryPullRowRange(p *simnet.Proc, from *simnet.Node, row, lo, hi int) ([]float64, error) {
 	mat.checkRow(row)
 	if lo < 0 || hi > mat.Dim || lo > hi {
 		panic(fmt.Sprintf("ps: PullRowRange [%d,%d) out of [0,%d)", lo, hi, mat.Dim))
@@ -281,6 +329,7 @@ func (mat *Matrix) PullRowRange(p *simnet.Proc, from *simnet.Node, row, lo, hi i
 		s := s
 		g.Go("pull-range", func(cp *simnet.Proc) {
 			errs[s] = mat.CallShard(cp, from, CallSpec{
+				Name:      "pull-range",
 				Shard:     s,
 				ReqBytes:  cost.RequestOverheadB,
 				RespBytes: cost.DenseBytes(oHi - oLo),
@@ -292,15 +341,20 @@ func (mat *Matrix) PullRowRange(p *simnet.Proc, from *simnet.Node, row, lo, hi i
 		})
 	}
 	g.Wait(p)
-	if err := firstError(errs); err != nil {
-		panic(err)
-	}
-	return out
+	return out, firstError(errs)
 }
 
 // SetRowRange overwrites columns [lo, hi) of one row, the mirror of
 // PullRowRange.
 func (mat *Matrix) SetRowRange(p *simnet.Proc, from *simnet.Node, row, lo, hi int, values []float64) {
+	if err := mat.TrySetRowRange(p, from, row, lo, hi, values); err != nil {
+		panic(err)
+	}
+}
+
+// TrySetRowRange is SetRowRange returning a typed error instead of panicking
+// when a shard stays unreachable.
+func (mat *Matrix) TrySetRowRange(p *simnet.Proc, from *simnet.Node, row, lo, hi int, values []float64) error {
 	mat.checkRow(row)
 	if len(values) != hi-lo || lo < 0 || hi > mat.Dim || lo > hi {
 		panic(fmt.Sprintf("ps: SetRowRange got %d values for [%d,%d) of dim %d", len(values), lo, hi, mat.Dim))
@@ -317,6 +371,7 @@ func (mat *Matrix) SetRowRange(p *simnet.Proc, from *simnet.Node, row, lo, hi in
 		s := s
 		g.Go("set-range", func(cp *simnet.Proc) {
 			errs[s] = mat.CallShard(cp, from, CallSpec{
+				Name:      "set-range",
 				Shard:     s,
 				ReqBytes:  cost.DenseBytes(oHi - oLo),
 				RespBytes: cost.RequestOverheadB,
@@ -329,9 +384,7 @@ func (mat *Matrix) SetRowRange(p *simnet.Proc, from *simnet.Node, row, lo, hi in
 		})
 	}
 	g.Wait(p)
-	if err := firstError(errs); err != nil {
-		panic(err)
-	}
+	return firstError(errs)
 }
 
 // PullRows fetches several whole rows in one batched request per server —
@@ -339,6 +392,16 @@ func (mat *Matrix) SetRowRange(p *simnet.Proc, from *simnet.Node, row, lo, hi in
 // of one center vertex and its sampled contexts together. Returns one dense
 // vector per requested row.
 func (mat *Matrix) PullRows(p *simnet.Proc, from *simnet.Node, rows []int) [][]float64 {
+	out, err := mat.TryPullRows(p, from, rows)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// TryPullRows is PullRows returning a typed error instead of panicking when
+// a shard stays unreachable.
+func (mat *Matrix) TryPullRows(p *simnet.Proc, from *simnet.Node, rows []int) ([][]float64, error) {
 	for _, r := range rows {
 		mat.checkRow(r)
 	}
@@ -354,6 +417,7 @@ func (mat *Matrix) PullRows(p *simnet.Proc, from *simnet.Node, rows []int) [][]f
 		g.Go("pull-rows", func(cp *simnet.Proc) {
 			lo, hi := mat.Part.Range(s)
 			errs[s] = mat.CallShard(cp, from, CallSpec{
+				Name:      "pull-rows",
 				Shard:     s,
 				ReqBytes:  cost.RequestOverheadB + 4*float64(len(rows)),
 				RespBytes: cost.RequestOverheadB + 8*float64(len(rows)*(hi-lo)),
@@ -367,15 +431,20 @@ func (mat *Matrix) PullRows(p *simnet.Proc, from *simnet.Node, rows []int) [][]f
 		})
 	}
 	g.Wait(p)
-	if err := firstError(errs); err != nil {
-		panic(err)
-	}
-	return out
+	return out, firstError(errs)
 }
 
 // PushRowsDelta adds one dense delta per row in one batched request per
 // server — the mirror of PullRows.
 func (mat *Matrix) PushRowsDelta(p *simnet.Proc, from *simnet.Node, rows []int, deltas [][]float64) {
+	if err := mat.TryPushRowsDelta(p, from, rows, deltas); err != nil {
+		panic(err)
+	}
+}
+
+// TryPushRowsDelta is PushRowsDelta returning a typed error instead of
+// panicking when a shard stays unreachable.
+func (mat *Matrix) TryPushRowsDelta(p *simnet.Proc, from *simnet.Node, rows []int, deltas [][]float64) error {
 	if len(rows) != len(deltas) {
 		panic(fmt.Sprintf("ps: PushRowsDelta got %d rows, %d deltas", len(rows), len(deltas)))
 	}
@@ -394,6 +463,7 @@ func (mat *Matrix) PushRowsDelta(p *simnet.Proc, from *simnet.Node, rows []int, 
 			lo, hi := mat.Part.Range(s)
 			width := hi - lo
 			errs[s] = mat.CallShard(cp, from, CallSpec{
+				Name:      "push-rows",
 				Shard:     s,
 				ReqBytes:  cost.RequestOverheadB + 4*float64(len(rows)) + 8*float64(len(rows)*width),
 				RespBytes: cost.RequestOverheadB,
@@ -413,9 +483,7 @@ func (mat *Matrix) PushRowsDelta(p *simnet.Proc, from *simnet.Node, rows []int, 
 		})
 	}
 	g.Wait(p)
-	if err := firstError(errs); err != nil {
-		panic(err)
-	}
+	return firstError(errs)
 }
 
 // Invoke runs fn against every server's shard in parallel: the caller sends
@@ -427,6 +495,17 @@ func (mat *Matrix) PushRowsDelta(p *simnet.Proc, from *simnet.Node, rows []int, 
 // only reads should use InvokeRead, which skips the dedup tracking.
 func (mat *Matrix) Invoke(p *simnet.Proc, from *simnet.Node, reqBytes, respBytes float64,
 	work func(width int) float64, fn func(s int, sh *Shard) float64) []float64 {
+	partials, err := mat.TryInvoke(p, from, reqBytes, respBytes, work, fn)
+	if err != nil {
+		panic(err)
+	}
+	return partials
+}
+
+// TryInvoke is Invoke returning a typed error instead of panicking when a
+// shard stays unreachable.
+func (mat *Matrix) TryInvoke(p *simnet.Proc, from *simnet.Node, reqBytes, respBytes float64,
+	work func(width int) float64, fn func(s int, sh *Shard) float64) ([]float64, error) {
 	return mat.invoke(p, from, reqBytes, respBytes, work, fn, true)
 }
 
@@ -436,19 +515,35 @@ func (mat *Matrix) Invoke(p *simnet.Proc, from *simnet.Node, reqBytes, respBytes
 // entirely — in unreliable runs a reduction costs no dedup state.
 func (mat *Matrix) InvokeRead(p *simnet.Proc, from *simnet.Node, reqBytes, respBytes float64,
 	work func(width int) float64, fn func(s int, sh *Shard) float64) []float64 {
+	partials, err := mat.TryInvokeRead(p, from, reqBytes, respBytes, work, fn)
+	if err != nil {
+		panic(err)
+	}
+	return partials
+}
+
+// TryInvokeRead is InvokeRead returning a typed error instead of panicking
+// when a shard stays unreachable.
+func (mat *Matrix) TryInvokeRead(p *simnet.Proc, from *simnet.Node, reqBytes, respBytes float64,
+	work func(width int) float64, fn func(s int, sh *Shard) float64) ([]float64, error) {
 	return mat.invoke(p, from, reqBytes, respBytes, work, fn, false)
 }
 
 func (mat *Matrix) invoke(p *simnet.Proc, from *simnet.Node, reqBytes, respBytes float64,
-	work func(width int) float64, fn func(s int, sh *Shard) float64, mutates bool) []float64 {
+	work func(width int) float64, fn func(s int, sh *Shard) float64, mutates bool) ([]float64, error) {
 	cost := mat.master.Cl.Cost
 	partials := make([]float64, mat.Part.Servers)
 	errs := make([]error, mat.Part.Servers)
 	g := p.Sim().NewGroup()
+	name := "invoke"
+	if !mutates {
+		name = "invoke-read"
+	}
 	for s := 0; s < mat.Part.Servers; s++ {
 		s := s
 		g.Go("invoke", func(cp *simnet.Proc) {
 			errs[s] = mat.CallShard(cp, from, CallSpec{
+				Name:      name,
 				Shard:     s,
 				ReqBytes:  cost.RequestOverheadB + reqBytes,
 				RespBytes: cost.RequestOverheadB + respBytes,
@@ -462,10 +557,7 @@ func (mat *Matrix) invoke(p *simnet.Proc, from *simnet.Node, reqBytes, respBytes
 		})
 	}
 	g.Wait(p)
-	if err := firstError(errs); err != nil {
-		panic(err)
-	}
-	return partials
+	return partials, firstError(errs)
 }
 
 // InvokeOp is one operation of a fused server-side program (see InvokeFused).
@@ -507,10 +599,12 @@ func (mat *Matrix) TryInvokeFused(p *simnet.Proc, from *simnet.Node, ops []Invok
 	}
 	errs := make([]error, mat.Part.Servers)
 	g := p.Sim().NewGroup()
+	tracer := mat.master.Cl.Sim.Tracer()
 	for s := 0; s < mat.Part.Servers; s++ {
 		s := s
 		g.Go("invoke-fused", func(cp *simnet.Proc) {
 			errs[s] = mat.CallShard(cp, from, CallSpec{
+				Name:      "invoke-fused",
 				Shard:     s,
 				ReqBytes:  reqBytes,
 				RespBytes: respBytes,
@@ -524,7 +618,13 @@ func (mat *Matrix) TryInvokeFused(p *simnet.Proc, from *simnet.Node, ops []Invok
 					return total
 				},
 				Mutates: mutates,
-				Fn: func(_ *simnet.Proc, sh *Shard) error {
+				Fn: func(fp *simnet.Proc, sh *Shard) error {
+					var fb obs.Span
+					if tracer != nil {
+						node := mat.srv(s).Node
+						fb = tracer.Begin(node.ID, node.Name, obs.KFusedBatch, "fused-batch",
+							fp.TraceParent(), obs.KV{K: "ops", V: strconv.Itoa(len(ops))})
+					}
 					for i, op := range ops {
 						if op.Fn != nil {
 							// Assign into the (op, server) slot — idempotent
@@ -532,12 +632,14 @@ func (mat *Matrix) TryInvokeFused(p *simnet.Proc, from *simnet.Node, ops []Invok
 							partials[i][s] = op.Fn(s, sh)
 						}
 					}
+					fb.End()
 					return nil
 				},
 			})
 		})
 	}
 	g.Wait(p)
+	mat.master.Net.Batches++
 	mat.master.Net.FusedOps += uint64(len(ops))
 	return partials, firstError(errs)
 }
@@ -555,35 +657,74 @@ func (mat *Matrix) InvokeFused(p *simnet.Proc, from *simnet.Node, ops []InvokeOp
 // RowSum returns the sum of a row, computed server-side with only scalars on
 // the wire.
 func (mat *Matrix) RowSum(p *simnet.Proc, from *simnet.Node, row int) float64 {
+	v, err := mat.TryRowSum(p, from, row)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// TryRowSum is RowSum returning a typed error instead of panicking when a
+// shard stays unreachable.
+func (mat *Matrix) TryRowSum(p *simnet.Proc, from *simnet.Node, row int) (float64, error) {
 	mat.checkRow(row)
 	cost := mat.master.Cl.Cost
-	partials := mat.InvokeRead(p, from, 8, 8,
+	partials, err := mat.TryInvokeRead(p, from, 8, 8,
 		func(w int) float64 { return cost.ElemWork(w) },
 		func(_ int, sh *Shard) float64 { return linalg.Sum(sh.Rows[row]) })
-	return linalg.Sum(partials)
+	if err != nil {
+		return 0, err
+	}
+	return linalg.Sum(partials), nil
 }
 
 // RowNnz returns the number of nonzero entries of a row, server-side.
 func (mat *Matrix) RowNnz(p *simnet.Proc, from *simnet.Node, row int) int {
+	v, err := mat.TryRowNnz(p, from, row)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// TryRowNnz is RowNnz returning a typed error instead of panicking when a
+// shard stays unreachable.
+func (mat *Matrix) TryRowNnz(p *simnet.Proc, from *simnet.Node, row int) (int, error) {
 	mat.checkRow(row)
 	cost := mat.master.Cl.Cost
-	partials := mat.InvokeRead(p, from, 8, 8,
+	partials, err := mat.TryInvokeRead(p, from, 8, 8,
 		func(w int) float64 { return cost.ElemWork(w) },
 		func(_ int, sh *Shard) float64 { return float64(linalg.NnzDense(sh.Rows[row])) })
-	return int(linalg.Sum(partials))
+	if err != nil {
+		return 0, err
+	}
+	return int(linalg.Sum(partials)), nil
 }
 
 // RowNorm2 returns the Euclidean norm of a row, server-side.
 func (mat *Matrix) RowNorm2(p *simnet.Proc, from *simnet.Node, row int) float64 {
+	v, err := mat.TryRowNorm2(p, from, row)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// TryRowNorm2 is RowNorm2 returning a typed error instead of panicking when
+// a shard stays unreachable.
+func (mat *Matrix) TryRowNorm2(p *simnet.Proc, from *simnet.Node, row int) (float64, error) {
 	mat.checkRow(row)
 	cost := mat.master.Cl.Cost
-	partials := mat.InvokeRead(p, from, 8, 8,
+	partials, err := mat.TryInvokeRead(p, from, 8, 8,
 		func(w int) float64 { return cost.ElemWork(w) },
 		func(_ int, sh *Shard) float64 {
 			n := linalg.Norm2(sh.Rows[row])
 			return n * n
 		})
-	return math.Sqrt(linalg.Sum(partials))
+	if err != nil {
+		return 0, err
+	}
+	return math.Sqrt(linalg.Sum(partials)), nil
 }
 
 func (mat *Matrix) checkRow(row int) {

@@ -9,6 +9,9 @@ package ps
 // backoff loop until the replacement is serving.
 
 import (
+	"strconv"
+
+	"repro/internal/obs"
 	"repro/internal/simnet"
 )
 
@@ -131,13 +134,26 @@ func (m *Master) StartMonitor(cfg DetectorConfig) {
 				// replaces the machine, so the system stays consistent either
 				// way.
 				m.Recovery.Detections++
+				t := m.Cl.Sim.Tracer()
+				t.Instant(m.Cl.Driver.ID, m.Cl.Driver.Name, obs.KDetect,
+					"server-"+strconv.Itoa(i)+" dead")
 				if srv.failedAt >= 0 {
 					m.Recovery.DetectLatencySum += p.Now() - srv.failedAt
 				}
 				srv.alive = false
 				missed[i] = 0
 				if cfg.AutoRecover {
+					// The fencing window spans declaration to recovered; the
+					// KRecovery span it parents nests inside it.
+					var win obs.Span
+					if t != nil {
+						win = t.Begin(m.Cl.Driver.ID, m.Cl.Driver.Name, obs.KDetectWin,
+							"fencing server-"+strconv.Itoa(i), p.TraceParent())
+					}
+					prevSpan := p.SetTraceParent(win)
 					m.RecoverServer(p, i)
+					p.SetTraceParent(prevSpan)
+					win.End()
 				}
 			}
 		}

@@ -22,7 +22,9 @@ package ps
 import (
 	"errors"
 	"fmt"
+	"strconv"
 
+	"repro/internal/obs"
 	"repro/internal/simnet"
 )
 
@@ -70,6 +72,7 @@ func (rc RetryConfig) withDefaults() RetryConfig {
 
 // CallSpec describes one logical RPC to one shard.
 type CallSpec struct {
+	Name     string  // operator name for tracing ("pull", "push-add", …)
 	Shard    int     // logical shard index
 	ReqBytes float64 // request size on the wire (including framing)
 
@@ -101,6 +104,7 @@ type CallSpec struct {
 type NetStats struct {
 	Calls       uint64
 	Attempts    uint64
+	Batches     uint64 // fused batch executions (one per TryInvokeFused)
 	FusedOps    uint64
 	DedupPruned uint64
 }
@@ -152,8 +156,29 @@ func (mat *Matrix) CallShard(p *simnet.Proc, from *simnet.Node, spec CallSpec) e
 		id = m.nextReqID()
 		defer m.retireReq(id)
 	}
+	if spec.Name == "" {
+		spec.Name = "rpc"
+	}
+	t := m.Cl.Sim.Tracer()
+	var rpc obs.Span
+	if t != nil {
+		rpc = t.Begin(from.ID, from.Name, obs.KRPC, spec.Name, p.TraceParent(),
+			obs.KV{K: "mat", V: strconv.Itoa(mat.ID)},
+			obs.KV{K: "shard", V: strconv.Itoa(spec.Shard)})
+		prev := p.SetTraceParent(rpc)
+		defer func() {
+			p.SetTraceParent(prev)
+			rpc.End()
+		}()
+	}
 	backoff := rc.BackoffSec
 	wait := func(d float64) {
+		if t != nil {
+			ws := t.Begin(from.ID, from.Name, obs.KRPCWait, "wait", rpc)
+			p.Sleep(d)
+			ws.End()
+			return
+		}
 		p.Sleep(d)
 	}
 	for attempt := 0; attempt < rc.MaxRetries; attempt++ {
@@ -189,12 +214,17 @@ func (mat *Matrix) CallShard(p *simnet.Proc, from *simnet.Node, spec CallSpec) e
 			backoff = min(backoff*2, rc.MaxBackoffSec)
 			continue
 		}
+		var op obs.Span
+		if t != nil {
+			op = t.Begin(node.ID, node.Name, obs.KServerOp, spec.Name, rpc)
+		}
 		if spec.Work != nil {
 			node.Compute(p, spec.Work(sh.Hi-sh.Lo))
 		}
 		// The server may have crashed (and even been replaced) while the
 		// request was queued on its CPU; a handler must not touch dead state.
 		if !node.Up() || srv.Node != node || srv.shards[mat.ID] != sh {
+			op.End(obs.KV{K: "stale", V: "true"})
 			wait(backoff)
 			backoff = min(backoff*2, rc.MaxBackoffSec)
 			continue
@@ -204,13 +234,25 @@ func (mat *Matrix) CallShard(p *simnet.Proc, from *simnet.Node, spec CallSpec) e
 			// the server drops dedup entries for IDs that can never be resent.
 			srv.pruneApplied(m)
 		}
-		if spec.Fn != nil && !(id != 0 && srv.applied[id]) {
-			if err := spec.Fn(p, sh); err != nil {
+		dedupHit := id != 0 && srv.applied[id]
+		if dedupHit {
+			t.Instant(node.ID, node.Name, obs.KDedupHit, spec.Name)
+		}
+		if spec.Fn != nil && !dedupHit {
+			// While the handler runs, the server-op span is the process's trace
+			// context, so handler-emitted events (fused batches, operand
+			// shuffles) nest under it.
+			prevFn := p.SetTraceParent(op)
+			err := spec.Fn(p, sh)
+			p.SetTraceParent(prevFn)
+			if err != nil {
+				op.End(obs.KV{K: "err", V: err.Error()})
 				wait(rc.TimeoutSec)
 				continue
 			}
 			// Fn may block (operand shuffle); re-validate before committing.
 			if !node.Up() || srv.Node != node || srv.shards[mat.ID] != sh {
+				op.End(obs.KV{K: "stale", V: "true"})
 				wait(backoff)
 				backoff = min(backoff*2, rc.MaxBackoffSec)
 				continue
@@ -219,6 +261,7 @@ func (mat *Matrix) CallShard(p *simnet.Proc, from *simnet.Node, spec CallSpec) e
 				srv.applied[id] = true
 			}
 		}
+		op.End()
 		respBytes := spec.RespBytes
 		if spec.RespBytesFn != nil {
 			respBytes = spec.RespBytesFn(sh)

@@ -3,8 +3,10 @@ package ps
 import (
 	"fmt"
 	"sort"
+	"strconv"
 
 	"repro/internal/cluster"
+	"repro/internal/obs"
 	"repro/internal/simnet"
 )
 
@@ -250,6 +252,7 @@ func (m *Master) Checkpoint(p *simnet.Proc, mat *Matrix) {
 	if prev != nil {
 		copy(snaps, prev)
 	}
+	t := m.Cl.Sim.Tracer()
 	g := p.Sim().NewGroup()
 	for s := 0; s < len(m.servers); s++ {
 		s := s
@@ -263,6 +266,15 @@ func (m *Master) Checkpoint(p *simnet.Proc, mat *Matrix) {
 			wire := full
 			if m.DeltaCheckpoints && prev != nil && prev[s] != nil {
 				wire = min(m.Cl.Cost.SparseBytes(diffCount(prev[s], sh)), full)
+			}
+			if t != nil {
+				ck := t.Begin(srv.Node.ID, srv.Node.Name, obs.KCheckpoint, "checkpoint",
+					cp.TraceParent(), obs.KV{K: "mat", V: strconv.Itoa(mat.ID)})
+				prevSpan := cp.SetTraceParent(ck)
+				defer func() {
+					cp.SetTraceParent(prevSpan)
+					ck.End()
+				}()
 			}
 			if m.reliableSend(cp, srv.Node, m.Cl.Store, wire) != nil {
 				return // crashed mid-stream: keep the previous snapshot
@@ -308,9 +320,20 @@ func (m *Master) KillServer(s int) {
 // traffic counters are carried into the server's stats.
 func (m *Master) RecoverServer(p *simnet.Proc, s int) {
 	start := p.Now()
+	t := m.Cl.Sim.Tracer()
+	var rec obs.Span
+	if t != nil {
+		rec = t.Begin(m.Cl.Driver.ID, m.Cl.Driver.Name, obs.KRecovery,
+			"recover server-"+strconv.Itoa(s), p.TraceParent())
+		defer rec.End()
+	}
 	srv := m.servers[s]
 	srv.alive = false
 	old := srv.Node
+	var fence obs.Span
+	if t != nil {
+		fence = t.Begin(old.ID, old.Name, obs.KFence, "fence", rec)
+	}
 	old.Fail()
 	srv.CarrySent += old.BytesSent
 	srv.CarryRecv += old.BytesRecv
@@ -318,6 +341,7 @@ func (m *Master) RecoverServer(p *simnet.Proc, s int) {
 	srv.shards = map[int]*Shard{}
 	srv.applied = map[uint64]bool{}
 	srv.prunedTo = 0
+	fence.End()
 
 	// Sorted matrix order keeps the simulation deterministic (map iteration
 	// order would reshuffle restore-stream interleaving run to run).
@@ -332,6 +356,15 @@ func (m *Master) RecoverServer(p *simnet.Proc, s int) {
 		// The logical shard that physical server s hosts for this matrix.
 		logical := (s - mat.Offset + len(m.servers)) % len(m.servers)
 		g.Go("recover", func(cp *simnet.Proc) {
+			if t != nil {
+				rs := t.Begin(srv.Node.ID, srv.Node.Name, obs.KRestore, "restore",
+					rec, obs.KV{K: "mat", V: strconv.Itoa(id)})
+				prevSpan := cp.SetTraceParent(rs)
+				defer func() {
+					cp.SetTraceParent(prevSpan)
+					rs.End()
+				}()
+			}
 			if snaps, ok := m.checkpoints[id]; ok && snaps[logical] != nil {
 				b := snaps[logical].bytes(m.Cl.Cost)
 				m.reliableSend(cp, m.Cl.Store, srv.Node, b)

@@ -3,8 +3,10 @@ package rdd
 import (
 	"errors"
 	"fmt"
+	"strconv"
 
 	"repro/internal/linalg"
+	"repro/internal/obs"
 	"repro/internal/simnet"
 )
 
@@ -74,6 +76,14 @@ const statusBytes = 1024
 func runTasks[T, U any](p *simnet.Proc, r *RDD[T], resultBytes func(U) float64, body func(tc *TaskContext, part int, rows []T) U) []U {
 	ctx := r.ctx
 	out := make([]U, r.parts)
+	t := p.Sim().Tracer()
+	var stage obs.Span
+	if t != nil {
+		stage = t.Begin(ctx.Cl.Driver.ID, ctx.Cl.Driver.Name, obs.KStage,
+			"stage rdd-"+strconv.Itoa(r.id), p.TraceParent(),
+			obs.KV{K: "parts", V: strconv.Itoa(r.parts)})
+		defer stage.End()
+	}
 	g := p.Sim().NewGroup()
 	for part := 0; part < r.parts; part++ {
 		part := part
@@ -90,16 +100,32 @@ func runTasks[T, U any](p *simnet.Proc, r *RDD[T], resultBytes func(U) float64, 
 				ctx.TasksLaunched++
 				tc := &TaskContext{Ctx: ctx, P: tp, Node: node, Part: part, Attempt: attempt}
 				tc.doomed = ctx.doomedDraw(r.id, part, attempt)
+				// One span per attempt on the owning executor's lane; while the
+				// body runs it is the process's trace context, so PS traffic
+				// nests under its task.
+				var ts obs.Span
+				if t != nil {
+					ts = t.Begin(node.ID, node.Name, obs.KTask,
+						"task "+strconv.Itoa(part), stage,
+						obs.KV{K: "attempt", V: strconv.Itoa(attempt)})
+				}
+				prevSpan := tp.SetTraceParent(ts)
 				res, ok := runAttempt(tc, part, r, body)
+				tp.SetTraceParent(prevSpan)
 				if ok {
+					ts.End()
 					out[part] = res
 					break
 				}
 				if !node.Up() {
 					ctx.ExecutorFailures++
+					ts.End(obs.KV{K: "err", V: "executor down"})
 				} else {
 					ctx.TaskFailures++
+					ts.End(obs.KV{K: "err", V: "task failed"})
 				}
+				t.Instant(node.ID, node.Name, obs.KTaskRetry,
+					"retry task "+strconv.Itoa(part))
 				// Restart latency: the driver notices the failure and
 				// reschedules the task.
 				tp.Sleep(ctx.Cl.Cost.TaskLaunchSec)

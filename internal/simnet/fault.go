@@ -10,6 +10,9 @@ package simnet
 import (
 	"errors"
 	"sort"
+	"strconv"
+
+	"repro/internal/obs"
 )
 
 // ErrNodeDown is returned by TrySend when the sender's machine is down or the
@@ -44,6 +47,25 @@ func (n *Node) Restore() { n.down = false }
 // NIC); ErrNodeDown means a crashed endpoint, ErrMsgLost a chaos drop.
 // Receive-side counters only advance on delivery.
 func (n *Node) TrySend(p *Proc, dst *Node, bytes float64) error {
+	t := n.sim.tracer
+	if t == nil {
+		return n.trySend(p, dst, bytes)
+	}
+	sp := t.Begin(n.ID, n.Name, obs.KNetSend, "send "+dst.Name, p.span,
+		obs.KV{K: "bytes", V: strconv.FormatFloat(bytes, 'f', 0, 64)})
+	err := n.trySend(p, dst, bytes)
+	if err != nil {
+		sp.End(obs.KV{K: "err", V: err.Error()})
+		if err == ErrMsgLost {
+			t.Instant(n.ID, n.Name, obs.KMsgLost, "lost "+dst.Name)
+		}
+		return err
+	}
+	sp.End()
+	return nil
+}
+
+func (n *Node) trySend(p *Proc, dst *Node, bytes float64) error {
 	if bytes < 0 {
 		bytes = 0
 	}
@@ -222,6 +244,7 @@ func (s *Sim) StartFaultPlan(plan *FaultPlan, stop *Signal) {
 			if stop != nil && stop.Fired() {
 				return
 			}
+			s.tracer.Instant(obs.EnvLane, "env", obs.KFault, a.Name)
 			a.Do()
 		}
 	})

@@ -1,5 +1,11 @@
 package simnet
 
+import (
+	"strconv"
+
+	"repro/internal/obs"
+)
+
 // Node models one machine's network interface. Outgoing transfers serialize
 // on the node's egress NIC and incoming transfers on its ingress NIC, each at
 // a fixed bandwidth. This store-and-forward model is what produces the
@@ -80,6 +86,17 @@ func (s *Sim) NewNode(id int, cfg NodeConfig) *Node {
 // full transfer time: serialization on n's egress NIC, propagation latency,
 // then serialization on dst's ingress NIC.
 func (n *Node) Send(p *Proc, dst *Node, bytes float64) {
+	if t := n.sim.tracer; t != nil {
+		sp := t.Begin(n.ID, n.Name, obs.KNetSend, "send "+dst.Name, p.span,
+			obs.KV{K: "bytes", V: strconv.FormatFloat(bytes, 'f', 0, 64)})
+		n.send(p, dst, bytes)
+		sp.End()
+		return
+	}
+	n.send(p, dst, bytes)
+}
+
+func (n *Node) send(p *Proc, dst *Node, bytes float64) {
 	if bytes < 0 {
 		bytes = 0
 	}

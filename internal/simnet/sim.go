@@ -18,6 +18,8 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
+
+	"repro/internal/obs"
 )
 
 // Time is virtual time in seconds since the start of the simulation.
@@ -39,6 +41,8 @@ type Sim struct {
 	processed uint64 // events delivered so far (observability)
 	failure   any    // first panic raised by a user process, re-raised by Run
 	chaos     *Chaos // optional link-fault injection, see fault.go
+
+	tracer *obs.Tracer // optional span tracer, see trace.go
 }
 
 // New creates an empty simulation at virtual time zero.
@@ -104,6 +108,7 @@ type Proc struct {
 	wake chan wakeMsg
 	done *Signal
 	dead bool
+	span obs.Span // current trace context, see trace.go
 }
 
 type wakeMsg struct{ stop bool }

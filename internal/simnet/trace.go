@@ -1,0 +1,35 @@
+package simnet
+
+// Tracing hooks. The kernel owns the observability clock: an obs.Tracer
+// created here reads virtual time, so every span any layer records is in
+// simulated seconds and two runs with the same seed emit identical traces.
+// With no tracer installed the instrumented paths pay one nil check.
+
+import "repro/internal/obs"
+
+// EnableTrace installs (or returns the existing) span tracer driven by this
+// simulation's virtual clock.
+func (s *Sim) EnableTrace() *obs.Tracer {
+	if s.tracer == nil {
+		s.tracer = obs.New(func() float64 { return s.now })
+	}
+	return s.tracer
+}
+
+// Tracer returns the installed tracer, or nil when tracing is disabled. A
+// nil tracer is safe to call — every obs method no-ops on it — so callers
+// instrument unconditionally.
+func (s *Sim) Tracer() *obs.Tracer { return s.tracer }
+
+// TraceParent returns the process's current trace span: the logical
+// operation (RPC, task) the process is inside, which kernel-emitted events
+// (network transfers) attach to as children.
+func (p *Proc) TraceParent() obs.Span { return p.span }
+
+// SetTraceParent installs span as the process's trace context and returns
+// the previous one, which the caller restores when its operation ends.
+func (p *Proc) SetTraceParent(span obs.Span) (prev obs.Span) {
+	prev = p.span
+	p.span = span
+	return prev
+}

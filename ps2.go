@@ -34,6 +34,7 @@ import (
 	"repro/internal/ml/gbdt"
 	"repro/internal/ml/lda"
 	"repro/internal/ml/lr"
+	"repro/internal/obs"
 	"repro/internal/ps"
 	"repro/internal/rdd"
 	"repro/internal/simnet"
@@ -88,6 +89,14 @@ type RetryConfig = ps.RetryConfig
 // RecoveryStats reports the self-healing subsystem's metrics for a run; see
 // Engine.RecoveryReport.
 type RecoveryStats = ps.RecoveryStats
+
+// Snapshot is the single end-of-run report returned by Engine.Snapshot:
+// communication, recovery, fusion and phase views in one structured value.
+type Snapshot = obs.Snapshot
+
+// Tracer records structured spans of a run when Options.Trace is set; export
+// it with its WriteChrome method and open the file in Perfetto/chrome://tracing.
+type Tracer = obs.Tracer
 
 // ErrServerDown is the typed error surfaced (wrapped) when a parameter
 // server stays unreachable past the retry budget.
