@@ -9,4 +9,4 @@ test:
 	go test ./...
 
 bench:
-	go test -run XXX -bench . -benchtime 1x .
+	go test -run XXX -bench . -benchtime 1x ./...

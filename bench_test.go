@@ -87,6 +87,8 @@ func BenchmarkExtFM(b *testing.B)            { runExperiment(b, "ext-fm") }
 func BenchmarkExtNode2vec(b *testing.B)      { runExperiment(b, "ext-node2vec") }
 func BenchmarkExtRecovery(b *testing.B)      { runExperiment(b, "ext-recovery") }
 func BenchmarkExtChaos(b *testing.B)         { runExperiment(b, "ext-chaos") }
+func BenchmarkExtFusion(b *testing.B)        { runExperiment(b, "ext-fusion") }
+func BenchmarkExtCache(b *testing.B)         { runExperiment(b, "ext-cache") }
 
 // --- Kernel micro-benchmarks (host performance of the hot paths) ---
 

@@ -122,6 +122,36 @@ func TestTable3Shape(t *testing.T) {
 	}
 }
 
+// TestExtCacheShape pins the cache experiment's acceptance bars: staleness 0
+// is bit-identical to the uncached run, and the staleness-2 arm pulls at
+// least 30% fewer bytes and finishes sooner.
+func TestExtCacheShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape checks run full experiments")
+	}
+	res := runExtCache(Opts{Quick: true})
+	rows := map[string][]string{}
+	for _, row := range res.Rows {
+		if row[0] == "LR-SGD" {
+			rows[row[1]] = row
+		}
+	}
+	uncached, exact, stale := rows["uncached"], rows["cache s=0 (exact)"], rows["cache s=2"]
+	if uncached == nil || exact == nil || stale == nil {
+		t.Fatalf("missing LR arms in %v", res.Rows)
+	}
+	if exact[8] != uncached[8] {
+		t.Fatalf("staleness-0 loss %q != uncached %q (must be bit-identical)", exact[8], uncached[8])
+	}
+	pulled, baseline := parseNum(t, stale[3]), parseNum(t, stale[4])
+	if pulled > 0.7*baseline {
+		t.Fatalf("staleness-2 pulled %v MB of %v MB; want >= 30%% reduction", pulled, baseline)
+	}
+	if ct, ut := parseNum(t, stale[7]), parseNum(t, uncached[7]); ct >= ut {
+		t.Fatalf("staleness-2 run took %vs vs uncached %vs; not faster", ct, ut)
+	}
+}
+
 func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"fig1a", "fig1b", "table1", "table2", "table3", "table4",
@@ -132,7 +162,7 @@ func TestRegistryComplete(t *testing.T) {
 		"ablation-colocation", "ablation-sparsepull", "ablation-servers", "ablation-batching",
 		"ablation-checkpoint",
 		"ext-treeagg", "ext-mllibstar", "ext-ssp", "ext-fm", "ext-node2vec",
-		"ext-recovery", "ext-chaos", "ext-fusion",
+		"ext-recovery", "ext-chaos", "ext-fusion", "ext-cache",
 	}
 	for _, id := range want {
 		if _, ok := ByID(id); !ok {

@@ -229,6 +229,20 @@ func (e *Engine) Snapshot() obs.Snapshot {
 			Batches:  e.PS.Net.Batches,
 			FusedOps: e.PS.Net.FusedOps,
 		},
+		Cache: obs.CacheSnapshot{
+			Hits:           e.PS.Cache.Hits,
+			Misses:         e.PS.Cache.Misses,
+			Validations:    e.PS.Cache.Validations,
+			ValidationHits: e.PS.Cache.ValidationHits,
+			Evictions:      e.PS.Cache.Evictions,
+			EpochFences:    e.PS.Cache.EpochFences,
+			PulledMB:       e.PS.Cache.PulledBytes / mb,
+			BaselineMB:     e.PS.Cache.BaselineBytes / mb,
+			CombinedPushes: e.PS.Cache.CombinedPushes,
+			Flushes:        e.PS.Cache.Flushes,
+			FlushedMB:      e.PS.Cache.FlushedBytes / mb,
+			FlushBaseMB:    e.PS.Cache.FlushBaselineBytes / mb,
+		},
 	}
 	if c := e.Sim.Chaos(); c != nil {
 		s.Net.MessagesLost = c.MessagesLost

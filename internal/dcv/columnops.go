@@ -56,18 +56,34 @@ func (v *Vector) zipInvoke(p *simnet.Proc, from *simnet.Node, others []*Vector,
 	cost := v.sess.Master.Cl.Cost
 	errs := make([]error, v.mat.Part.Servers)
 	g := p.Sim().NewGroup()
+	// fn may mutate the target row and any co-located operand row (ZipMap's
+	// contract); shuffled operands are fetched copies, never live memory.
+	touched := []int{v.row}
+	for _, ov := range others {
+		if ov.mat == v.mat {
+			touched = append(touched, ov.row)
+		}
+	}
 	for s := 0; s < v.mat.Part.Servers; s++ {
 		s := s
 		g.Go("zip", func(cp *simnet.Proc) {
+			// Allocated once per shard and reused across the retry loop: the
+			// rows table and the scratch copies of shuffled operand slices
+			// used to be reallocated on every CallShard attempt.
+			rows := make([][]float64, 1+len(others))
+			var shuffled [][]float64
+			if len(others) > 0 {
+				shuffled = make([][]float64, len(others))
+			}
 			errs[s] = v.mat.CallShard(cp, from, ps.CallSpec{
 				Shard:     s,
 				ReqBytes:  cost.RequestOverheadB,
 				RespBytes: cost.RequestOverheadB + respBytes,
 				Mutates:   true,
+				Touched:   touched,
 				Fn: func(fp *simnet.Proc, sh *ps.Shard) error {
 					host := v.mat.ServerNode(s)
 					width := sh.Hi - sh.Lo
-					rows := make([][]float64, 1+len(others))
 					rows[0] = sh.Rows[v.row]
 					for i, ov := range others {
 						if ov.mat == v.mat {
@@ -86,7 +102,8 @@ func (v *Vector) zipInvoke(p *simnet.Proc, from *simnet.Node, others []*Vector,
 						if err := ov.mat.ServerNode(s).TrySend(fp, host, cost.DenseBytes(width)); err != nil {
 							return err
 						}
-						rows[1+i] = append([]float64(nil), osh.Rows[ov.row]...)
+						shuffled[i] = append(shuffled[i][:0], osh.Rows[ov.row]...)
+						rows[1+i] = shuffled[i]
 					}
 					host.Compute(fp, workPerElem*float64(width)*float64(1+len(others)))
 					fn(ShardSpan{Shard: s, Lo: sh.Lo, Hi: sh.Hi, Rows: rows})

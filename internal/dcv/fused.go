@@ -62,8 +62,11 @@ type fusedOp struct {
 	// zipInvoke's charge of workPerElem × width × (1+operands).
 	workPerElem float64
 	mutates     bool
-	scalar      *Scalar
-	run         func(s int, sh *ps.Shard) float64
+	// rows lists the matrix rows a mutating op writes, forwarded as the
+	// fused request's dirty-row declaration (ps.InvokeOp.DirtyRows).
+	rows   []int
+	scalar *Scalar
+	run    func(s int, sh *ps.Shard) float64
 }
 
 // Batch records a program of column ops against one raw matrix and executes
@@ -116,7 +119,7 @@ func (b *Batch) Fill(v *Vector, c float64) *Batch {
 	}
 	row := v.row
 	b.ops = append(b.ops, fusedOp{
-		reqBytes: OpCommandBytes, workPerElem: b.cost(), mutates: true,
+		reqBytes: OpCommandBytes, workPerElem: b.cost(), mutates: true, rows: []int{row},
 		run: func(_ int, sh *ps.Shard) float64 {
 			a := sh.Rows[row]
 			for i := range a {
@@ -138,7 +141,7 @@ func (b *Batch) Scale(v *Vector, alpha float64) *Batch {
 	}
 	row := v.row
 	b.ops = append(b.ops, fusedOp{
-		reqBytes: OpCommandBytes, workPerElem: b.cost(), mutates: true,
+		reqBytes: OpCommandBytes, workPerElem: b.cost(), mutates: true, rows: []int{row},
 		run: func(_ int, sh *ps.Shard) float64 {
 			a := sh.Rows[row]
 			for i := range a {
@@ -157,7 +160,7 @@ func (b *Batch) Axpy(v *Vector, alpha float64, other *Vector) *Batch {
 	}
 	tr, or := v.row, other.row
 	b.ops = append(b.ops, fusedOp{
-		reqBytes: OpCommandBytes, workPerElem: 2 * b.cost(), mutates: true,
+		reqBytes: OpCommandBytes, workPerElem: 2 * b.cost(), mutates: true, rows: []int{tr},
 		run: func(_ int, sh *ps.Shard) float64 {
 			a, o := sh.Rows[tr], sh.Rows[or]
 			for i := range a {
@@ -176,7 +179,7 @@ func (b *Batch) elementwise(name string, v, other *Vector, op func(a, bb float64
 	}
 	tr, or := v.row, other.row
 	b.ops = append(b.ops, fusedOp{
-		reqBytes: OpCommandBytes, workPerElem: 2 * b.cost(), mutates: true,
+		reqBytes: OpCommandBytes, workPerElem: 2 * b.cost(), mutates: true, rows: []int{tr},
 		run: func(_ int, sh *ps.Shard) float64 {
 			a, o := sh.Rows[tr], sh.Rows[or]
 			for i := range a {
@@ -230,6 +233,7 @@ func (b *Batch) ZipMap(v *Vector, workPerElem float64, fn func(lo int, rows [][]
 		reqBytes:    OpCommandBytes,
 		workPerElem: workPerElem * float64(len(rowIdx)),
 		mutates:     true,
+		rows:        rowIdx, // fn may mutate any zipped slice
 		run: func(_ int, sh *ps.Shard) float64 {
 			rows := make([][]float64, len(rowIdx))
 			for i, r := range rowIdx {
@@ -343,6 +347,7 @@ func (b *Batch) Run(p *simnet.Proc, from *simnet.Node) error {
 			RespBytes: op.respBytes,
 			Work:      func(w int) float64 { return op.workPerElem * float64(w) },
 			Mutates:   op.mutates,
+			DirtyRows: op.rows,
 			Fn:        op.run,
 		}
 	}

@@ -68,7 +68,15 @@ type Config struct {
 	// previous pair's update inside the next pair's dot request. Fusion is
 	// the default; the ext-fusion experiment flips this switch.
 	NoFusion bool
-	Seed     uint64
+	// Cache, when non-nil, routes ModePullPush through the worker-side
+	// parameter cache: row pulls come from the executor's cache (validated
+	// with cheap version stamps) and the per-pair delta pushes accumulate in
+	// a write-combining buffer flushed once per partition. Pending deltas are
+	// merged into pulled rows (read-your-writes), so a worker's own updates
+	// stay visible between flushes. Ignored in ModeDCV, whose updates already
+	// ride fused server-side programs.
+	Cache *ps.CacheConfig
+	Seed  uint64
 }
 
 // DefaultConfig returns the paper's Table 4 values with an embedding
@@ -103,6 +111,13 @@ func Train(p *simnet.Proc, e *core.Engine, pairs *rdd.RDD[data.Pair], vertices i
 	}
 	initEmbeddings(p, e, mat, vertices, cfg)
 
+	// Optional worker-side cache for the pull/push path (the mode that ships
+	// whole vectors and so has something to save).
+	var cache *ps.CachedClient
+	if cfg.Cache != nil && cfg.Mode == ModePullPush {
+		cache = ps.NewCachedClient(mat, *cfg.Cache)
+	}
+
 	model := &Model{Mat: mat, V: vertices, K: cfg.K, Trace: &core.Trace{Name: cfg.Mode.String() + "-DeepWalk"}}
 	totalPairs := rdd.Count(p, pairs)
 	if totalPairs == 0 {
@@ -130,6 +145,10 @@ func Train(p *simnet.Proc, e *core.Engine, pairs *rdd.RDD[data.Pair], vertices i
 			var count int
 			rng := tc.RNG()
 			worker := &dcvWorker{mat: mat, cfg: cfg}
+			var buf *ps.PushBuffer
+			if cache != nil {
+				buf = cache.NewPushBuffer()
+			}
 			for _, pr := range rows {
 				contexts := make([]int, 1+cfg.Negatives)
 				labels := make([]float64, 1+cfg.Negatives)
@@ -147,12 +166,15 @@ func Train(p *simnet.Proc, e *core.Engine, pairs *rdd.RDD[data.Pair], vertices i
 				if cfg.Mode == ModeDCV {
 					loss = worker.step(tc, int(pr.U), contexts, labels)
 				} else {
-					loss = pullPushStep(tc, mat, int(pr.U), contexts, labels, cfg)
+					loss = pullPushStep(tc, mat, cache, buf, int(pr.U), contexts, labels, cfg)
 				}
 				lossSum += loss
 				count++
 			}
 			worker.flush(tc)
+			if buf != nil {
+				buf.Flush(tc.P, tc.Node)
+			}
 			return [2]float64{lossSum, float64(count)}
 		})
 		var lossSum, count float64
@@ -162,6 +184,9 @@ func Train(p *simnet.Proc, e *core.Engine, pairs *rdd.RDD[data.Pair], vertices i
 		}
 		if count > 0 {
 			model.Trace.Add(p.Now(), lossSum/count)
+		}
+		if cache != nil {
+			cache.Tick()
 		}
 		if cfg.CheckpointEvery > 0 && (it+1)%cfg.CheckpointEvery == 0 {
 			e.PS.Checkpoint(p, mat)
@@ -222,6 +247,9 @@ func initEmbeddings(p *simnet.Proc, e *core.Engine, mat *ps.Matrix, vertices int
 					row[i] = (rng.Float64() - 0.5) * scale
 				}
 			}
+			// The fill bypassed CallShard, so mark every row mutated: delta
+			// checkpoints and cache version stamps must see the init values.
+			sh.TouchAll()
 			srv.Send(cp, e.Driver(), cost.RequestOverheadB)
 		})
 	}
@@ -353,11 +381,19 @@ func (dw *dcvWorker) flush(tc *rdd.TaskContext) {
 
 // pullPushStep is the PS-DeepWalk baseline: pull all vectors, update locally,
 // push the deltas back — full vector data over the network in both
-// directions.
-func pullPushStep(tc *rdd.TaskContext, mat *ps.Matrix, center int, contexts []int, labels []float64, cfg Config) float64 {
+// directions. With a cache, the pull is served from the executor's cache
+// (pending buffered deltas merged in for read-your-writes) and the push
+// accumulates in the write-combining buffer instead of going to the wire.
+func pullPushStep(tc *rdd.TaskContext, mat *ps.Matrix, cache *ps.CachedClient, buf *ps.PushBuffer, center int, contexts []int, labels []float64, cfg Config) float64 {
 	cost := tc.Ctx.Cl.Cost
 	rows := append([]int{center}, contexts...)
-	vecs := mat.PullRows(tc.P, tc.Node, rows)
+	var vecs [][]float64
+	if cache != nil {
+		vecs = cache.PullRows(tc.P, tc.Node, rows)
+		buf.ApplyPending(rows, vecs)
+	} else {
+		vecs = mat.PullRows(tc.P, tc.Node, rows)
+	}
 	u := vecs[0]
 	deltas := make([][]float64, len(rows))
 	for i := range deltas {
@@ -376,7 +412,11 @@ func pullPushStep(tc *rdd.TaskContext, mat *ps.Matrix, center int, contexts []in
 		}
 	}
 	tc.Charge(cost.ElemWork(cfg.K * len(contexts) * 2))
-	mat.PushRowsDelta(tc.P, tc.Node, rows, deltas)
+	if buf != nil {
+		buf.AddRowsDelta(rows, deltas)
+	} else {
+		mat.PushRowsDelta(tc.P, tc.Node, rows, deltas)
+	}
 	return loss
 }
 

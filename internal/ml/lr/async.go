@@ -21,6 +21,17 @@ type AsyncConfig struct {
 	Staleness int
 }
 
+// cacheStaleness is the cache validity bound an SSP run uses when
+// Config.Cache doesn't pin one: a weight cached at a worker's clock c may
+// reflect updates no older than the SSP bound already admits, so the cache
+// rides the same staleness the clock grants.
+func (cfg *AsyncConfig) cacheStaleness() int {
+	if cfg.Cache.Staleness > 0 {
+		return cfg.Cache.Staleness
+	}
+	return cfg.Staleness
+}
+
 // AsyncModel is the result of SSP training. TrainAsync returns it as soon as
 // the workers are spawned; call Wait to block until every worker finishes its
 // iteration budget, or stop the simulation early (simnet.RunUntil) and read
@@ -69,6 +80,16 @@ func TrainAsync(p *simnet.Proc, e *core.Engine, parts [][]data.Instance, dim int
 	clock := ps.NewSSPClock(p.Sim(), len(parts))
 	cost := e.Cluster.Cost
 
+	// Optional worker-side cache: each SSP worker's cache clock ticks with
+	// its own SSPClock entry, so the cache's validity window tracks the same
+	// bounded staleness the clock grants.
+	var cache *ps.CachedClient
+	if cfg.Cache != nil {
+		ccfg := *cfg.Cache
+		ccfg.Staleness = cfg.cacheStaleness()
+		cache = ps.NewCachedClient(mat, ccfg)
+	}
+
 	lossByClock := make([]float64, cfg.Iterations)
 	countByClock := make([]int, cfg.Iterations)
 
@@ -81,13 +102,22 @@ func TrainAsync(p *simnet.Proc, e *core.Engine, parts [][]data.Instance, dim int
 		rows := parts[w]
 		g.Go(fmt.Sprintf("ssp-worker-%d", w), func(wp *simnet.Proc) {
 			rng := linalg.NewRNG(cfg.Seed*13 + uint64(w))
+			var buf *ps.PushBuffer
+			if cache != nil && cfg.Cache.CombinePushes {
+				buf = cache.NewPushBuffer()
+			}
 			for it := 0; it < cfg.Iterations; it++ {
 				clock.WaitTurn(wp, w, it, cfg.Staleness)
 				// Sample this worker's mini-batch.
 				batch := sampleRows(rows, cfg.BatchFraction, rng)
 				if len(batch) > 0 {
 					idx := DistinctIndices(batch)
-					vals := mat.PullRowIndices(wp, node, 0, idx)
+					var vals []float64
+					if cache != nil {
+						vals = cache.PullRowIndices(wp, node, 0, idx)
+					} else {
+						vals = mat.PullRowIndices(wp, node, 0, idx)
+					}
 					local := make(map[int]float64, len(idx))
 					for k, i := range idx {
 						local[i] = vals[k]
@@ -109,11 +139,21 @@ func TrainAsync(p *simnet.Proc, e *core.Engine, parts [][]data.Instance, dim int
 					if err != nil {
 						panic(err)
 					}
-					mat.PushAdd(wp, node, 0, sv)
+					if buf != nil {
+						if err := buf.Add(0, sv); err != nil {
+							panic(err)
+						}
+						buf.Flush(wp, node)
+					} else {
+						mat.PushAdd(wp, node, 0, sv)
+					}
 					lossByClock[it] += lossSum
 					countByClock[it] += len(batch)
 				}
 				clock.Tick(w)
+				if cache != nil {
+					cache.TickNode(node)
+				}
 			}
 		})
 	}

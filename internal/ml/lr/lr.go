@@ -14,6 +14,7 @@ import (
 	"repro/internal/data"
 	"repro/internal/dcv"
 	"repro/internal/linalg"
+	"repro/internal/ps"
 	"repro/internal/rdd"
 	"repro/internal/simnet"
 )
@@ -64,6 +65,18 @@ type Config struct {
 	// (fusion preserves op order per server); the ext-fusion benchmark uses
 	// this switch for its apples-to-apples comparison.
 	NoFusion bool
+
+	// Cache, when non-nil, routes the per-task weight pulls through a
+	// worker-side parameter cache (ps.CachedClient) keyed by the driver's
+	// iteration clock: with Staleness 0 the trained model is bit-identical to
+	// the uncached run (the weight row is frozen while tasks execute), while
+	// Staleness s lets cached weights up to s iterations old serve without
+	// even a validation round trip. When Cache.CombinePushes is also set, the
+	// per-task gradient pushes accumulate in per-executor write-combining
+	// buffers flushed once per iteration — this regroups the floating-point
+	// summation of gradient contributions, so it is kept off the staleness-0
+	// bit-identity arm.
+	Cache *ps.CacheConfig
 
 	Seed uint64
 }
@@ -209,6 +222,18 @@ func Train(p *simnet.Proc, e *core.Engine, dataset *rdd.RDD[data.Instance], dim 
 		return nil, err
 	}
 
+	// Optional worker-side cache: one CachedClient over the shared raw
+	// matrix, and (when combining is on) one write-combining gradient buffer
+	// per executor machine, flushed by the driver at the stage barrier.
+	var cache *ps.CachedClient
+	var gradBufs map[*simnet.Node]*ps.PushBuffer
+	if cfg.Cache != nil {
+		cache = ps.NewCachedClient(weight.Matrix(), *cfg.Cache)
+		if cfg.Cache.CombinePushes {
+			gradBufs = map[*simnet.Node]*ps.PushBuffer{}
+		}
+	}
+
 	trace := &core.Trace{Name: "PS2-" + opt.Name()}
 	cost := e.Cluster.Cost
 	for it := 0; it < cfg.Iterations; it++ {
@@ -217,9 +242,15 @@ func Train(p *simnet.Proc, e *core.Engine, dataset *rdd.RDD[data.Instance], dim 
 			if len(rows) == 0 {
 				return batchStat{}
 			}
-			// (1) Model pull: sparse pull of exactly the batch's features.
+			// (1) Model pull: sparse pull of exactly the batch's features,
+			// served from the executor's cache when one is configured.
 			idx := DistinctIndices(rows)
-			vals := weight.PullIndices(tc.P, tc.Node, idx)
+			var vals []float64
+			if cache != nil {
+				vals = cache.PullRowIndices(tc.P, tc.Node, weight.Row(), idx)
+			} else {
+				vals = weight.PullIndices(tc.P, tc.Node, idx)
+			}
 			local := make(map[int]float64, len(idx))
 			for k, i := range idx {
 				local[i] = vals[k]
@@ -242,10 +273,38 @@ func Train(p *simnet.Proc, e *core.Engine, dataset *rdd.RDD[data.Instance], dim 
 			if err != nil {
 				panic(err)
 			}
-			grad.Add(tc.P, tc.Node, sv)
+			if gradBufs != nil {
+				// Write combining: the delta merges host-side into the
+				// executor's buffer; the wire cost is paid at flush.
+				buf := gradBufs[tc.Node]
+				if buf == nil {
+					buf = cache.NewPushBuffer()
+					gradBufs[tc.Node] = buf
+				}
+				if err := buf.Add(grad.Row(), sv); err != nil {
+					panic(err)
+				}
+			} else {
+				grad.Add(tc.P, tc.Node, sv)
+			}
 			return batchStat{Loss: lossSum, Count: len(rows)}
 		})
 		// Global barrier happened inside RunPartitions (Spark's foreach).
+		// Flush the combined gradients — one coalesced push per executor, in
+		// parallel so the flush wave costs one round trip, not one per
+		// executor — before the optimizer reads the batch gradient.
+		if gradBufs != nil {
+			g := p.Sim().NewGroup()
+			for _, node := range e.Cluster.Executors {
+				node := node
+				if buf := gradBufs[node]; buf != nil && buf.Pending() > 0 {
+					g.Go("grad-flush", func(fp *simnet.Proc) {
+						buf.Flush(fp, node)
+					})
+				}
+			}
+			g.Wait(p)
+		}
 		var lossSum float64
 		var count int
 		for _, st := range stats {
@@ -274,6 +333,12 @@ func Train(p *simnet.Proc, e *core.Engine, dataset *rdd.RDD[data.Instance], dim 
 			if err := grad.TryZero(p, e.Driver()); err != nil {
 				return nil, err
 			}
+		}
+		// The optimizer step mutated the weight row, so advance every
+		// executor's cache clock: staleness-0 entries stop serving until
+		// revalidated against the new version stamps.
+		if cache != nil {
+			cache.Tick()
 		}
 		trace.Add(p.Now(), lossSum/float64(count))
 		if cfg.CheckpointEvery > 0 && (it+1)%cfg.CheckpointEvery == 0 {

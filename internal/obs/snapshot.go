@@ -19,6 +19,7 @@ type Snapshot struct {
 	Net      NetSnapshot
 	Recovery RecoverySnapshot
 	Fusion   FusionSnapshot
+	Cache    CacheSnapshot
 	Phases   PhaseSnapshot
 }
 
@@ -82,6 +83,41 @@ type FusionSnapshot struct {
 	FusedOps uint64 // column ops that rode a fused request
 }
 
+// CacheSnapshot is the worker-side parameter cache and write-combining view,
+// mirroring ps.CacheStats. All fields are zero when no CachedClient was used.
+type CacheSnapshot struct {
+	Hits           uint64 // pulls served entirely from cache, no RPC
+	Misses         uint64 // pulls that needed a fetch/validate round trip
+	Validations    uint64 // cached entries revalidated by version stamp
+	ValidationHits uint64 // revalidations where the entry was still current
+	Evictions      uint64 // entries dropped by the byte-capacity LRU
+	EpochFences    uint64 // entries fenced after a server recovery epoch bump
+
+	PulledMB   float64 // bytes cached pulls actually moved
+	BaselineMB float64 // bytes the same pulls would have moved uncached
+
+	CombinedPushes uint64  // deltas absorbed by write-combining buffers
+	Flushes        uint64  // coalesced flush rounds
+	FlushedMB      float64 // bytes the coalesced flushes moved
+	FlushBaseMB    float64 // bytes the unbuffered pushes would have moved
+}
+
+// HitRate returns the fraction of cached pulls served without a round trip.
+func (c CacheSnapshot) HitRate() float64 {
+	if c.Hits+c.Misses == 0 {
+		return 0
+	}
+	return float64(c.Hits) / float64(c.Hits+c.Misses)
+}
+
+// SavedMB returns the pull traffic the cache avoided, in MB.
+func (c CacheSnapshot) SavedMB() float64 { return c.BaselineMB - c.PulledMB }
+
+// Active reports whether any cached pull or combined push happened.
+func (c CacheSnapshot) Active() bool {
+	return c.Hits+c.Misses+c.CombinedPushes > 0
+}
+
 // PhaseSnapshot answers "where did the time go". The span-derived fields
 // (Comm/Wait/Recovery, from the tracer) are zero when the run was untraced —
 // Traced says which; the core-second fields come from node counters and are
@@ -137,6 +173,20 @@ func (s Snapshot) String() string {
 	if s.Fusion.Batches > 0 || s.Fusion.FusedOps > 0 {
 		fmt.Fprintf(&b, "fusion: %d batches carrying %d ops\n", s.Fusion.Batches, s.Fusion.FusedOps)
 	}
+	if s.Cache.Active() {
+		fmt.Fprintf(&b, "cache: %.1f%% hit rate (%d hits, %d misses), %d revalidations (%d current), %.1f of %.1f MB pulled (%.1f saved)",
+			100*s.Cache.HitRate(), s.Cache.Hits, s.Cache.Misses,
+			s.Cache.Validations, s.Cache.ValidationHits,
+			s.Cache.PulledMB, s.Cache.BaselineMB, s.Cache.SavedMB())
+		if s.Cache.Evictions > 0 || s.Cache.EpochFences > 0 {
+			fmt.Fprintf(&b, ", %d evictions, %d epoch fences", s.Cache.Evictions, s.Cache.EpochFences)
+		}
+		if s.Cache.CombinedPushes > 0 {
+			fmt.Fprintf(&b, "; combined %d pushes into %d flushes (%.1f of %.1f MB)",
+				s.Cache.CombinedPushes, s.Cache.Flushes, s.Cache.FlushedMB, s.Cache.FlushBaseMB)
+		}
+		b.WriteByte('\n')
+	}
 	if s.Recovery.ServerCrashes > 0 || s.Recovery.Recoveries > 0 {
 		fmt.Fprintf(&b, "recovery: %d crashes, %d detected (mean %.2fs), %d recovered (mean %.2fs), %.1f MB restored\n",
 			s.Recovery.ServerCrashes, s.Recovery.Detections, s.Recovery.MeanDetectLatency(),
@@ -168,6 +218,19 @@ func (s Snapshot) Fill(r *Registry) {
 
 	r.Set("", "fusion", "batches", float64(s.Fusion.Batches))
 	r.Set("", "fusion", "fused.ops", float64(s.Fusion.FusedOps))
+
+	r.Set("", "cache", "hits", float64(s.Cache.Hits))
+	r.Set("", "cache", "misses", float64(s.Cache.Misses))
+	r.Set("", "cache", "validations", float64(s.Cache.Validations))
+	r.Set("", "cache", "validation.hits", float64(s.Cache.ValidationHits))
+	r.Set("", "cache", "evictions", float64(s.Cache.Evictions))
+	r.Set("", "cache", "epoch.fences", float64(s.Cache.EpochFences))
+	r.Set("", "cache", "pulled.mb", s.Cache.PulledMB)
+	r.Set("", "cache", "baseline.mb", s.Cache.BaselineMB)
+	r.Set("", "cache", "combined.pushes", float64(s.Cache.CombinedPushes))
+	r.Set("", "cache", "flushes", float64(s.Cache.Flushes))
+	r.Set("", "cache", "flushed.mb", s.Cache.FlushedMB)
+	r.Set("", "cache", "flush.baseline.mb", s.Cache.FlushBaseMB)
 
 	r.Set("", "recovery", "crashes", float64(s.Recovery.ServerCrashes))
 	r.Set("", "recovery", "detections", float64(s.Recovery.Detections))

@@ -1,8 +1,10 @@
 package ps
 
 import (
+	"errors"
 	"fmt"
 	"math"
+	"sort"
 	"strconv"
 
 	"repro/internal/linalg"
@@ -27,7 +29,32 @@ import (
 // unreachable past the retry budget, and the plain X delegates to TryX and
 // panics on that error — for jobs that treat an unrecoverable cluster as
 // fatal. Argument-validation failures (bad row, wrong dimension) are
-// programming errors and panic in both forms.
+// programming errors and panic in both forms, with one exception: a
+// malformed index list (out of range or not strictly increasing) is data,
+// not code — sparse indices typically come straight from parsed instances —
+// so the index operators validate it up front and return ErrBadIndices
+// (wrapped) from the Try form instead of panicking deep inside a server
+// handler.
+
+// ErrBadIndices is returned (wrapped) by the sparse index operators when the
+// index list is out of range or not strictly increasing.
+var ErrBadIndices = errors.New("ps: invalid index list")
+
+// validateIndices checks that indices are strictly increasing and within
+// [0, dim), the contract of every sparse index operator.
+func validateIndices(indices []int, dim int) error {
+	prev := -1
+	for i, col := range indices {
+		if col < 0 || col >= dim {
+			return fmt.Errorf("ps: index %d at position %d out of range [0,%d): %w", col, i, dim, ErrBadIndices)
+		}
+		if col <= prev {
+			return fmt.Errorf("ps: indices not strictly increasing: %d at position %d follows %d: %w", col, i, prev, ErrBadIndices)
+		}
+		prev = col
+	}
+	return nil
+}
 
 // PullRow fetches one full row from all servers in parallel and assembles it
 // at the caller. Every server ships its [lo,hi) stretch of the row, so the
@@ -137,6 +164,9 @@ func (mat *Matrix) PullRowIndices(p *simnet.Proc, from *simnet.Node, row int, in
 // panicking when a shard stays unreachable.
 func (mat *Matrix) TryPullRowIndices(p *simnet.Proc, from *simnet.Node, row int, indices []int) ([]float64, error) {
 	mat.checkRow(row)
+	if err := validateIndices(indices, mat.Dim); err != nil {
+		return nil, err
+	}
 	cost := mat.master.Cl.Cost
 	out := make([]float64, len(indices))
 	split := mat.Part.SplitIndices(indices)
@@ -184,6 +214,9 @@ func (mat *Matrix) PushAdd(p *simnet.Proc, from *simnet.Node, row int, delta *li
 // shard stays unreachable.
 func (mat *Matrix) TryPushAdd(p *simnet.Proc, from *simnet.Node, row int, delta *linalg.SparseVector) error {
 	mat.checkRow(row)
+	if err := validateIndices(delta.Indices, mat.Dim); err != nil {
+		return err
+	}
 	cost := mat.master.Cl.Cost
 	split := mat.Part.SplitIndices(delta.Indices)
 	errs := make([]error, mat.Part.Servers)
@@ -204,6 +237,7 @@ func (mat *Matrix) TryPushAdd(p *simnet.Proc, from *simnet.Node, row int, delta 
 				RespBytes: cost.RequestOverheadB, // ack
 				Work:      func(int) float64 { return cost.ElemWork(len(idx)) },
 				Mutates:   true,
+				Touched:   []int{row},
 				Fn: func(_ *simnet.Proc, sh *Shard) error {
 					for k, col := range idx {
 						sh.Rows[row][col-sh.Lo] += delta.Values[off+k]
@@ -246,6 +280,7 @@ func (mat *Matrix) TryPushAddDense(p *simnet.Proc, from *simnet.Node, row int, d
 				RespBytes: cost.RequestOverheadB, // ack
 				Work:      func(w int) float64 { return cost.ElemWork(w) },
 				Mutates:   true,
+				Touched:   []int{row},
 				Fn: func(_ *simnet.Proc, sh *Shard) error {
 					for c := sh.Lo; c < sh.Hi; c++ {
 						sh.Rows[row][c-sh.Lo] += delta[c]
@@ -286,6 +321,7 @@ func (mat *Matrix) TrySetRow(p *simnet.Proc, from *simnet.Node, row int, values 
 				ReqBytes:  cost.DenseBytes(hi - lo),
 				RespBytes: cost.RequestOverheadB,
 				Mutates:   true,
+				Touched:   []int{row},
 				Fn: func(_ *simnet.Proc, sh *Shard) error {
 					copy(sh.Rows[row], values[sh.Lo:sh.Hi])
 					return nil
@@ -376,6 +412,7 @@ func (mat *Matrix) TrySetRowRange(p *simnet.Proc, from *simnet.Node, row, lo, hi
 				ReqBytes:  cost.DenseBytes(oHi - oLo),
 				RespBytes: cost.RequestOverheadB,
 				Mutates:   true,
+				Touched:   []int{row},
 				Fn: func(_ *simnet.Proc, sh *Shard) error {
 					copy(sh.Rows[row][oLo-sh.Lo:oHi-sh.Lo], values[oLo-lo:oHi-lo])
 					return nil
@@ -469,6 +506,7 @@ func (mat *Matrix) TryPushRowsDelta(p *simnet.Proc, from *simnet.Node, rows []in
 				RespBytes: cost.RequestOverheadB,
 				Work:      func(w int) float64 { return cost.ElemWork(len(rows) * w) },
 				Mutates:   true,
+				Touched:   rows,
 				Fn: func(_ *simnet.Proc, sh *Shard) error {
 					for i, r := range rows {
 						row := sh.Rows[r]
@@ -570,6 +608,12 @@ type InvokeOp struct {
 	Work      func(width int) float64
 	Mutates   bool
 	Fn        func(s int, sh *Shard) float64
+
+	// DirtyRows lists the rows a mutating op writes; the fused request
+	// declares their union as CallSpec.Touched. A mutating op that leaves it
+	// nil makes the whole batch fall back to conservative (every-row)
+	// marking.
+	DirtyRows []int
 }
 
 // TryInvokeFused executes a program of ops in order against every server's
@@ -588,10 +632,24 @@ func (mat *Matrix) TryInvokeFused(p *simnet.Proc, from *simnet.Node, ops []Invok
 	cost := mat.master.Cl.Cost
 	reqBytes, respBytes := cost.RequestOverheadB, cost.RequestOverheadB
 	mutates := false
+	var touched []int
+	declared := true
 	for _, op := range ops {
 		reqBytes += op.ReqBytes
 		respBytes += op.RespBytes
 		mutates = mutates || op.Mutates
+		if op.Mutates {
+			if op.DirtyRows == nil {
+				declared = false
+			} else {
+				touched = append(touched, op.DirtyRows...)
+			}
+		}
+	}
+	if !declared {
+		touched = nil // one undeclared mutation ⇒ conservative marking
+	} else {
+		touched = sortedUniqueInts(touched)
 	}
 	partials := make([][]float64, len(ops))
 	for i := range partials {
@@ -618,6 +676,7 @@ func (mat *Matrix) TryInvokeFused(p *simnet.Proc, from *simnet.Node, ops []Invok
 					return total
 				},
 				Mutates: mutates,
+				Touched: touched,
 				Fn: func(fp *simnet.Proc, sh *Shard) error {
 					var fb obs.Span
 					if tracer != nil {
@@ -731,4 +790,22 @@ func (mat *Matrix) checkRow(row int) {
 	if row < 0 || row >= mat.Rows {
 		panic(fmt.Sprintf("ps: row %d out of range [0,%d) for matrix %d", row, mat.Rows, mat.ID))
 	}
+}
+
+// sortedUniqueInts returns a sorted copy of xs with duplicates removed (nil
+// in, nil out).
+func sortedUniqueInts(xs []int) []int {
+	if xs == nil {
+		return nil
+	}
+	out := append([]int(nil), xs...)
+	sort.Ints(out)
+	n := 0
+	for i, x := range out {
+		if i == 0 || x != out[n-1] {
+			out[n] = x
+			n++
+		}
+	}
+	return out[:n]
 }

@@ -1,0 +1,240 @@
+package ps
+
+// PushBuffer is the write-combining half of the worker-side cache layer: it
+// locally aggregates sparse (PushAdd-shaped) and dense (PushRowsDelta-shaped)
+// deltas across a mini-batch and flushes ONE coalesced message per server at
+// the clock tick. Accumulation is pure host work — deltas to the same
+// element merge by addition before ever touching the wire — so n pushes into
+// a hot row cost one request framing per server instead of n.
+//
+// Flush rides Matrix.CallShard with Mutates set, so each per-server flush
+// carries a dedup request ID: a flush retried through message loss or a
+// server crash re-applies exactly once per server incarnation, never
+// double-applying a delta. The buffered deltas are snapshotted when Flush
+// starts; Adds issued while a flush is in flight land in the next batch.
+//
+// Semantics: combining defers when deltas become visible (at flush, not at
+// Add) and changes the order contributions to one element are summed in, so
+// it is an opt-in for the trainers (CacheConfig.CombinePushes) — the
+// staleness-0 bit-identity guarantee of the pull cache applies to runs with
+// combining off. Callers that need read-your-writes before the flush (the
+// embedding trainer does) merge pending deltas into pulled values with
+// ApplyPending.
+
+import (
+	"sort"
+
+	"repro/internal/linalg"
+	"repro/internal/simnet"
+)
+
+// PushBuffer accumulates deltas against one matrix for one worker. Not safe
+// for use from multiple executor machines — make one per worker/executor,
+// like the per-machine cache.
+type PushBuffer struct {
+	mat    *Matrix
+	sparse map[int]map[int]float64 // row → col → pending delta
+	dense  map[int][]float64       // row → pending full-dim delta
+
+	adds     uint64  // deltas absorbed since the last flush
+	baseline float64 // wire bytes the unbuffered pushes would have paid
+}
+
+// NewPushBuffer returns an empty write-combining buffer for mat.
+func NewPushBuffer(mat *Matrix) *PushBuffer {
+	return &PushBuffer{mat: mat, sparse: map[int]map[int]float64{}, dense: map[int][]float64{}}
+}
+
+// NewPushBuffer returns a buffer for the cached client's matrix; its
+// counters land in the same master-wide CacheStats.
+func (cc *CachedClient) NewPushBuffer() *PushBuffer { return NewPushBuffer(cc.mat) }
+
+// Add absorbs one sparse delta into the buffer — the combining form of
+// PushAdd. It validates like the wire operator but costs nothing until
+// Flush.
+func (b *PushBuffer) Add(row int, delta *linalg.SparseVector) error {
+	b.mat.checkRow(row)
+	if err := validateIndices(delta.Indices, b.mat.Dim); err != nil {
+		return err
+	}
+	cost := b.mat.master.Cl.Cost
+	r := b.sparse[row]
+	if r == nil {
+		r = map[int]float64{}
+		b.sparse[row] = r
+	}
+	for i, col := range delta.Indices {
+		r[col] += delta.Values[i]
+	}
+	// What TryPushAdd would have put on the wire for this delta.
+	for _, idx := range b.mat.Part.SplitIndices(delta.Indices) {
+		if len(idx) > 0 {
+			b.baseline += cost.SparseBytes(len(idx)) + cost.RequestOverheadB
+		}
+	}
+	b.adds++
+	return nil
+}
+
+// AddRowsDelta absorbs one dense multi-row delta — the combining form of
+// PushRowsDelta (deltas[i] spans the full dimension, aligned with rows[i]).
+func (b *PushBuffer) AddRowsDelta(rows []int, deltas [][]float64) {
+	if len(rows) != len(deltas) {
+		panic("ps: PushBuffer.AddRowsDelta rows/deltas length mismatch")
+	}
+	cost := b.mat.master.Cl.Cost
+	for i, row := range rows {
+		b.mat.checkRow(row)
+		d := deltas[i]
+		if len(d) != b.mat.Dim {
+			panic("ps: PushBuffer.AddRowsDelta delta has wrong dimension")
+		}
+		acc := b.dense[row]
+		if acc == nil {
+			acc = make([]float64, b.mat.Dim)
+			b.dense[row] = acc
+		}
+		for c, v := range d {
+			acc[c] += v
+		}
+		b.adds++
+	}
+	// What TryPushRowsDelta would have paid: per server, framing + row ids +
+	// its width of every row, plus the ack.
+	for s := 0; s < b.mat.Part.Servers; s++ {
+		lo, hi := b.mat.Part.Range(s)
+		b.baseline += 2*cost.RequestOverheadB + 4*float64(len(rows)) + 8*float64(len(rows)*(hi-lo))
+	}
+}
+
+// ApplyPending adds the buffered deltas for the given rows into vecs (full
+// dimension, aligned with rows) — read-your-writes for callers that pull
+// rows they have pending updates against.
+func (b *PushBuffer) ApplyPending(rows []int, vecs [][]float64) {
+	for i, row := range rows {
+		if d, ok := b.dense[row]; ok {
+			v := vecs[i]
+			for c, x := range d {
+				v[c] += x
+			}
+		}
+		if r, ok := b.sparse[row]; ok {
+			v := vecs[i]
+			cols := sortedKeys(r)
+			for _, col := range cols {
+				v[col] += r[col]
+			}
+		}
+	}
+}
+
+// Pending returns the number of rows with buffered deltas.
+func (b *PushBuffer) Pending() int { return len(b.sparse) + len(b.dense) }
+
+// Flush is TryFlush panicking on exhausted retries.
+func (b *PushBuffer) Flush(p *simnet.Proc, from *simnet.Node) {
+	if err := b.TryFlush(p, from); err != nil {
+		panic(err)
+	}
+}
+
+// TryFlush ships every buffered delta as one coalesced request per server
+// that has any, applying dense then sparse deltas in sorted row/column order
+// (deterministic regardless of accumulation order). Returns the first
+// shard's error when a server stays unreachable; the buffer is cleared
+// either way — retries happen inside CallShard, and each server call is
+// dedup'd, so no delta can be double-applied.
+func (b *PushBuffer) TryFlush(p *simnet.Proc, from *simnet.Node) error {
+	if len(b.sparse) == 0 && len(b.dense) == 0 {
+		return nil
+	}
+	m := b.mat.master
+	cost := m.Cl.Cost
+	// Snapshot and reset: Adds during the flush start the next batch.
+	sparse, dense := b.sparse, b.dense
+	b.sparse, b.dense = map[int]map[int]float64{}, map[int][]float64{}
+	m.Cache.CombinedPushes += b.adds
+	m.Cache.FlushBaselineBytes += b.baseline
+	b.adds, b.baseline = 0, 0
+
+	denseRows := sortedKeys(dense)
+	type sparsePart struct {
+		row  int
+		cols []int
+	}
+	// Per-server sparse payload: each dirty row's columns within the shard,
+	// already sorted (SplitIndices preserves the sorted column order).
+	parts := make([][]sparsePart, b.mat.Part.Servers)
+	nnz := make([]int, b.mat.Part.Servers)
+	for _, row := range sortedKeys(sparse) {
+		split := b.mat.Part.SplitIndices(sortedKeys(sparse[row]))
+		for s, cols := range split {
+			if len(cols) > 0 {
+				parts[s] = append(parts[s], sparsePart{row: row, cols: cols})
+				nnz[s] += len(cols)
+			}
+		}
+	}
+	errs := make([]error, b.mat.Part.Servers)
+	g := p.Sim().NewGroup()
+	for s := 0; s < b.mat.Part.Servers; s++ {
+		if len(parts[s]) == 0 && len(denseRows) == 0 {
+			continue
+		}
+		s := s
+		lo, hi := b.mat.Part.Range(s)
+		width := hi - lo
+		touched := append([]int(nil), denseRows...)
+		for _, sp := range parts[s] {
+			touched = append(touched, sp.row)
+		}
+		elems := nnz[s] + len(denseRows)*width
+		reqBytes := cost.RequestOverheadB +
+			12*float64(nnz[s]) + 4*float64(len(parts[s])) + // sparse (col,val) pairs + row headers
+			8*float64(len(denseRows)*width) + 4*float64(len(denseRows)) // dense stretches + row headers
+		g.Go("flush", func(cp *simnet.Proc) {
+			errs[s] = b.mat.CallShard(cp, from, CallSpec{
+				Name:      "push-combined",
+				Shard:     s,
+				ReqBytes:  reqBytes,
+				RespBytes: cost.RequestOverheadB, // ack
+				Work:      func(int) float64 { return cost.ElemWork(elems) },
+				Mutates:   true,
+				Touched:   sortedUniqueInts(touched),
+				Fn: func(_ *simnet.Proc, sh *Shard) error {
+					for _, row := range denseRows {
+						d := dense[row]
+						out := sh.Rows[row]
+						for c := sh.Lo; c < sh.Hi; c++ {
+							out[c-sh.Lo] += d[c]
+						}
+					}
+					for _, sp := range parts[s] {
+						out := sh.Rows[sp.row]
+						deltas := sparse[sp.row]
+						for _, col := range sp.cols {
+							out[col-sh.Lo] += deltas[col]
+						}
+					}
+					return nil
+				},
+			})
+			if errs[s] == nil {
+				m.Cache.FlushedBytes += reqBytes + cost.RequestOverheadB
+			}
+		})
+	}
+	g.Wait(p)
+	m.Cache.Flushes++
+	return firstError(errs)
+}
+
+// sortedKeys returns the map's keys in ascending order.
+func sortedKeys[V any](m map[int]V) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}

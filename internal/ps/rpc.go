@@ -90,6 +90,12 @@ type CallSpec struct {
 	// server incarnation.
 	Mutates bool
 
+	// Touched lists the row indices a mutating Fn may write (duplicates ok).
+	// CallShard marks them dirty for delta checkpoints and, on versioned
+	// shards, diffs their values around Fn to stamp exactly the changed
+	// elements. nil means undeclared: every row is conservatively marked.
+	Touched []int
+
 	// Fn is the server-side handler. It may block (the DCV shuffle path
 	// fetches operand slices from peer servers) and may return a retryable
 	// error.
@@ -239,6 +245,10 @@ func (mat *Matrix) CallShard(p *simnet.Proc, from *simnet.Node, spec CallSpec) e
 			t.Instant(node.ID, node.Name, obs.KDedupHit, spec.Name)
 		}
 		if spec.Fn != nil && !dedupHit {
+			var snap [][]float64
+			if spec.Mutates {
+				snap = sh.preMutate(spec.Touched)
+			}
 			// While the handler runs, the server-op span is the process's trace
 			// context, so handler-emitted events (fused batches, operand
 			// shuffles) nest under it.
@@ -259,6 +269,9 @@ func (mat *Matrix) CallShard(p *simnet.Proc, from *simnet.Node, spec CallSpec) e
 			}
 			if id != 0 {
 				srv.applied[id] = true
+			}
+			if spec.Mutates {
+				sh.commitMutate(spec.Touched, snap)
 			}
 		}
 		op.End()

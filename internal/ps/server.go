@@ -14,19 +14,36 @@ import (
 type Shard struct {
 	Lo, Hi int
 	Rows   [][]float64 // Rows[r][c-Lo] stores element (r, c)
+
+	// dirty[r] is set by every mutating RPC that lands on row r and cleared
+	// when a checkpoint snapshot is taken, so delta checkpoints skip rows
+	// that are guaranteed unchanged (see diffCount).
+	dirty []bool
+
+	// Version stamps for the worker-side cache's if-modified-since protocol,
+	// allocated only when the matrix has versioning enabled (see versions.go).
+	// ver is the shard's current version; rowVer/elemVer record the version
+	// of the last change per row and per element.
+	ver     uint64
+	rowVer  []uint64
+	elemVer [][]uint64
 }
 
 func newShard(rows, lo, hi int) *Shard {
-	sh := &Shard{Lo: lo, Hi: hi, Rows: make([][]float64, rows)}
+	sh := &Shard{Lo: lo, Hi: hi, Rows: make([][]float64, rows), dirty: make([]bool, rows)}
 	for r := range sh.Rows {
 		sh.Rows[r] = make([]float64, hi-lo)
 	}
 	return sh
 }
 
-// clone deep-copies a shard (used by checkpointing).
+// clone deep-copies a shard's data (used by checkpointing). The clone gets
+// fresh metadata: snapshots never need dirty flags or version stamps, and a
+// clone installed by recovery starts clean — it is bit-identical to the store
+// snapshot the next delta checkpoint will diff against, and the recovery
+// epoch bump fences any cache entry stamped under the old version counters.
 func (sh *Shard) clone() *Shard {
-	c := &Shard{Lo: sh.Lo, Hi: sh.Hi, Rows: make([][]float64, len(sh.Rows))}
+	c := &Shard{Lo: sh.Lo, Hi: sh.Hi, Rows: make([][]float64, len(sh.Rows)), dirty: make([]bool, len(sh.Rows))}
 	for r := range sh.Rows {
 		c.Rows[r] = append([]float64(nil), sh.Rows[r]...)
 	}
@@ -38,12 +55,18 @@ func (sh *Shard) bytes(cost cluster.CostModel) float64 {
 	return cost.DenseBytes(len(sh.Rows) * (sh.Hi - sh.Lo))
 }
 
-// diffCount returns how many elements differ between two snapshots of the
-// same shard — the entry count a delta checkpoint ships as (index, value)
-// pairs.
+// diffCount returns how many elements differ between the live shard cur and
+// its previous snapshot prev — the entry count a delta checkpoint ships as
+// (index, value) pairs. Rows whose dirty flag is clear have not been mutated
+// since the snapshot was taken and are skipped without scanning; dirty rows
+// are still element-compared, so the count (and hence the checkpoint wire
+// size) is exactly what a full scan would produce.
 func diffCount(prev, cur *Shard) int {
 	n := 0
 	for r := range cur.Rows {
+		if cur.dirty != nil && !cur.dirty[r] {
+			continue
+		}
 		pr := prev.Rows[r]
 		for c, v := range cur.Rows[r] {
 			if pr[c] != v {
@@ -115,6 +138,16 @@ type Master struct {
 	// benchmark reads.
 	Net NetStats
 
+	// Cache accumulates worker-side cache and write-combining counters from
+	// every CachedClient and PushBuffer attached to this master's matrices
+	// (see cache.go) — the observability the ext-cache benchmark reads.
+	Cache CacheStats
+
+	// epochs[s] counts recoveries of physical server s. RecoverServer bumps
+	// it when the old machine is fenced; cache entries remember the epoch
+	// they were filled under and are discarded on mismatch (versions.go).
+	epochs []uint64
+
 	reqSeq uint64
 	// outstanding holds mutation request IDs whose CallShard loop has not
 	// exited yet; ackedTo is the acknowledgement watermark: every ID at or
@@ -157,6 +190,7 @@ func NewMaster(cl *cluster.Cluster) *Master {
 		DeltaCheckpoints: true,
 		outstanding:      map[uint64]struct{}{},
 	}
+	m.epochs = make([]uint64, len(cl.Servers))
 	for i, node := range cl.Servers {
 		m.servers = append(m.servers, &Server{
 			Index: i, Node: node, shards: map[int]*Shard{}, alive: true,
@@ -190,6 +224,10 @@ type Matrix struct {
 	// derived DCVs their co-location guarantee.
 	Offset int
 	master *Master
+
+	// versioned is set by EnableVersioning (versions.go): shards then stamp
+	// changed elements so CachedClients can validate cheaply.
+	versioned bool
 }
 
 // srv returns the physical server holding logical shard s.
@@ -279,7 +317,11 @@ func (m *Master) Checkpoint(p *simnet.Proc, mat *Matrix) {
 			if m.reliableSend(cp, srv.Node, m.Cl.Store, wire) != nil {
 				return // crashed mid-stream: keep the previous snapshot
 			}
+			// Clone and clear the dirty flags in the same host instant: rows
+			// mutated after this point are dirty relative to exactly this
+			// snapshot.
 			snaps[s] = sh.clone()
+			sh.clearDirty()
 			m.Recovery.CheckpointBytesWritten += wire
 			m.Recovery.CheckpointBytesFull += full
 		})
@@ -335,6 +377,11 @@ func (m *Master) RecoverServer(p *simnet.Proc, s int) {
 		fence = t.Begin(old.ID, old.Name, obs.KFence, "fence", rec)
 	}
 	old.Fail()
+	// Bump the recovery epoch at the fence: the replacement's shards restart
+	// their version counters, so every cache entry stamped under the old
+	// incarnation must be discarded, and the epoch mismatch is what tells
+	// CachedClients to do so (no stale read crosses this point).
+	m.epochs[s]++
 	srv.CarrySent += old.BytesSent
 	srv.CarryRecv += old.BytesRecv
 	srv.Node = m.Cl.ReplaceServer(s)
@@ -370,11 +417,16 @@ func (m *Master) RecoverServer(p *simnet.Proc, s int) {
 				m.reliableSend(cp, m.Cl.Store, srv.Node, b)
 				srv.shards[id] = snaps[logical].clone()
 				m.Recovery.RestoreBytes += b
-				return
+			} else {
+				lo, hi := mat.Part.Range(logical)
+				srv.shards[id] = newShard(mat.Rows, lo, hi)
+				m.Recovery.ZeroRestoredShards++
 			}
-			lo, hi := mat.Part.Range(logical)
-			srv.shards[id] = newShard(mat.Rows, lo, hi)
-			m.Recovery.ZeroRestoredShards++
+			if mat.versioned {
+				// Fresh (all-zero) stamps are sound: the epoch bump above
+				// already fenced every entry that could alias them.
+				srv.shards[id].enableVersions()
+			}
 		})
 	}
 	g.Wait(p)

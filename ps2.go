@@ -90,6 +90,16 @@ type RetryConfig = ps.RetryConfig
 // Engine.RecoveryReport.
 type RecoveryStats = ps.RecoveryStats
 
+// CacheConfig tunes the worker-side parameter cache and write-combining
+// push buffer (lr.Config.Cache / embedding.Config.Cache): staleness bound,
+// per-executor byte capacity, and whether pushes are combined.
+type CacheConfig = ps.CacheConfig
+
+// CachedClient is the worker-side parameter cache fronting a matrix's pull
+// operators; trainers construct one internally when their Cache config is
+// set, and ps.NewCachedClient builds one for custom jobs.
+type CachedClient = ps.CachedClient
+
 // Snapshot is the single end-of-run report returned by Engine.Snapshot:
 // communication, recovery, fusion and phase views in one structured value.
 type Snapshot = obs.Snapshot

@@ -17,3 +17,7 @@ go build ./...
 go test -race -count=1 -run 'TestNilTracer|TestTracerObservesWithoutPerturbing' ./internal/obs/ .
 
 go test -race ./...
+
+# Benchmark smoke gate: every benchmark in the repo must still run to
+# completion (one iteration each) so `make bench` cannot rot unnoticed.
+go test -run XXX -bench . -benchtime 1x ./...
