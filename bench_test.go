@@ -89,6 +89,7 @@ func BenchmarkExtRecovery(b *testing.B)      { runExperiment(b, "ext-recovery") 
 func BenchmarkExtChaos(b *testing.B)         { runExperiment(b, "ext-chaos") }
 func BenchmarkExtFusion(b *testing.B)        { runExperiment(b, "ext-fusion") }
 func BenchmarkExtCache(b *testing.B)         { runExperiment(b, "ext-cache") }
+func BenchmarkExtSkew(b *testing.B)          { runExperiment(b, "ext-skew") }
 
 // --- Kernel micro-benchmarks (host performance of the hot paths) ---
 

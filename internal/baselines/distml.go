@@ -96,9 +96,9 @@ func TrainLRDistML(p *simnet.Proc, e *core.Engine, dataset *rdd.RDD[data.Instanc
 // helper; the simulation already charged the pulls).
 func hostRow(mat *ps.Matrix) []float64 {
 	out := make([]float64, mat.Dim)
-	for s := 0; s < mat.Part.Servers; s++ {
+	for s := 0; s < mat.Part.NumServers(); s++ {
 		sh := mat.ShardOf(s)
-		copy(out[sh.Lo:sh.Hi], sh.Rows[0])
+		sh.Scatter(sh.Rows[0], out)
 	}
 	return out
 }

@@ -56,7 +56,7 @@ func TrainLDAGlint(p *simnet.Proc, e *core.Engine, docs *rdd.RDD[data.Document],
 				state.z[d][t] = int32(k)
 				state.ndk[d][k]++
 				sh := mat.ShardOf(mat.Part.ServerOf(int(w)))
-				sh.Rows[k][int(w)-sh.Lo]++
+				sh.Rows[k][sh.Local(int(w))]++
 				totals[k]++
 				n++
 			}
@@ -97,7 +97,7 @@ func TrainLDAGlint(p *simnet.Proc, e *core.Engine, docs *rdd.RDD[data.Document],
 					for _, w := range idx {
 						vec := make([]float64, mat.Rows)
 						for k := 0; k < mat.Rows; k++ {
-							vec[k] = sh.Rows[k][w-sh.Lo]
+							vec[k] = sh.Rows[k][sh.Local(w)]
 						}
 						counts[w] = vec
 					}
@@ -203,7 +203,7 @@ func TrainLDAGlint(p *simnet.Proc, e *core.Engine, docs *rdd.RDD[data.Document],
 // charged by the surrounding per-word pushes).
 func applyShardDelta(mat *ps.Matrix, k, w int, v float64) {
 	sh := mat.ShardOf(mat.Part.ServerOf(w))
-	sh.Rows[k][w-sh.Lo] += v
+	sh.Rows[k][sh.Local(w)] += v
 }
 
 func glintDistinctWords(rows []data.Document) []int {

@@ -162,7 +162,7 @@ func TestRegistryComplete(t *testing.T) {
 		"ablation-colocation", "ablation-sparsepull", "ablation-servers", "ablation-batching",
 		"ablation-checkpoint",
 		"ext-treeagg", "ext-mllibstar", "ext-ssp", "ext-fm", "ext-node2vec",
-		"ext-recovery", "ext-chaos", "ext-fusion", "ext-cache",
+		"ext-recovery", "ext-chaos", "ext-fusion", "ext-cache", "ext-skew",
 	}
 	for _, id := range want {
 		if _, ok := ByID(id); !ok {

@@ -175,9 +175,9 @@ func runExtSSP(o Opts) *Result {
 func hostRowOf(m *lr.AsyncModel) []float64 {
 	mat := m.Weights
 	out := make([]float64, mat.Dim)
-	for s := 0; s < mat.Part.Servers; s++ {
+	for s := 0; s < mat.Part.NumServers(); s++ {
 		sh := mat.ShardOf(s)
-		copy(out[sh.Lo:sh.Hi], sh.Rows[0])
+		sh.Scatter(sh.Rows[0], out)
 	}
 	return out
 }

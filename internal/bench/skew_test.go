@@ -1,0 +1,95 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/ml/lr"
+	"repro/internal/ps"
+	"repro/internal/rdd"
+	"repro/internal/simnet"
+)
+
+// TestExtSkewShape pins the placement experiment's acceptance bars: the
+// load-aware placement must cut the bytes imbalance the range placement
+// suffers on the frequency-sorted Zipf workload, and the hot-replica arm at
+// staleness 0 must train to the same loss as plain range.
+func TestExtSkewShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape checks run full experiments")
+	}
+	res := runExtSkew(Opts{Quick: true})
+	rows := map[string][]string{}
+	for _, row := range res.Rows {
+		if row[0] == "LR-SGD zipf" {
+			rows[row[1]] = row
+		}
+	}
+	rangeRow, laRow := rows["range (default)"], rows["loadaware"]
+	var repRow []string
+	for mode, row := range rows {
+		if strings.Contains(mode, "hot replicas") {
+			repRow = row
+		}
+	}
+	if rangeRow == nil || laRow == nil || repRow == nil {
+		t.Fatalf("missing LR arms in %v", res.Rows)
+	}
+	rangeImb, laImb := parseNum(t, rangeRow[3]), parseNum(t, laRow[3])
+	if laImb >= rangeImb {
+		t.Fatalf("loadaware bytes imbalance %v not below range %v", laImb, rangeImb)
+	}
+	if repRow[6] != rangeRow[6] {
+		t.Fatalf("hot-replica loss %q != range loss %q (staleness 0 must be bit-identical)", repRow[6], rangeRow[6])
+	}
+}
+
+// TestSkewMathInvariance checks that non-contiguous placements permute only
+// ownership, never the update math: with one partition per iteration the
+// gradient pushes are serialized (no concurrent float regrouping), so the
+// trained loss must be bit-identical across placements.
+func TestSkewMathInvariance(t *testing.T) {
+	dcfg := data.ClassifyConfig{Rows: 300, Dim: 500, NnzPerRow: 8, Skew: 1.2, WeightNnz: 100, SortedFeatures: true, Seed: 3}
+	ds, err := data.GenerateClassify(dcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	freq := make([]float64, ds.Config.Dim)
+	for _, inst := range ds.Instances {
+		for _, idx := range inst.Features.Indices {
+			freq[idx]++
+		}
+	}
+	run := func(factory ps.PlacementFactory) float64 {
+		e := tracedEngine(Opts{}, 4, 4)
+		e.PS.Placement = factory
+		cfg := lr.DefaultConfig()
+		cfg.Iterations = 10
+		cfg.BatchFraction = 1.0
+		var loss float64
+		e.Run(func(p *simnet.Proc) {
+			dataset := rdd.FromSlices(e.RDD, data.Partition(ds.Instances, 1)).Cache()
+			m, err := lr.Train(p, e, dataset, ds.Config.Dim, cfg, lr.NewSGD())
+			if err != nil {
+				panic(err)
+			}
+			loss = m.Trace.Final()
+		})
+		return loss
+	}
+	base := run(nil)
+	bh := run(func(dim, n int) (ps.Placement, error) { return ps.NewBlockHashPlacement(dim, n, 16, 1) })
+	la := run(func(dim, n int) (ps.Placement, error) {
+		if dim != len(freq) {
+			return ps.NewPartitioner(dim, n)
+		}
+		return ps.NewLoadAwarePlacement(dim, n, freq, 16)
+	})
+	if base != bh {
+		t.Fatalf("blockhash loss %v != range loss %v with serialized pushes", bh, base)
+	}
+	if base != la {
+		t.Fatalf("loadaware loss %v != range loss %v with serialized pushes", la, base)
+	}
+}

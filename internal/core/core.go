@@ -247,6 +247,13 @@ func (e *Engine) Snapshot() obs.Snapshot {
 	if c := e.Sim.Chaos(); c != nil {
 		s.Net.MessagesLost = c.MessagesLost
 	}
+	load := e.PS.LoadReport()
+	s.Load.Ops = make([]float64, len(load))
+	s.Load.Bytes = make([]float64, len(load))
+	for i, l := range load {
+		s.Load.Ops[i] = float64(l.Ops)
+		s.Load.Bytes[i] = l.Bytes
+	}
 	for _, n := range e.Cluster.Executors {
 		s.Net.ExecutorSentMB += n.BytesSent / mb
 		s.Net.ExecutorRecvMB += n.BytesRecv / mb

@@ -32,7 +32,16 @@ type ClassifyConfig struct {
 	Skew      float64 // Zipf exponent for feature popularity; 0 = uniform
 	NoiseRate float64 // probability of flipping a label
 	WeightNnz int     // nonzeros in the ground-truth weight vector
-	Seed      uint64
+
+	// SortedFeatures assigns feature ids in popularity order (rank r maps to
+	// column r, so low ids are the hottest) instead of scattering ranks
+	// across the index space — the layout of a frequency-sorted feature
+	// dictionary, which CTR and NLP pipelines commonly produce. Under a
+	// range placement this piles the hot dimensions onto the low stripes;
+	// the ext-skew experiment uses it to measure exactly that.
+	SortedFeatures bool
+
+	Seed uint64
 }
 
 // KDDBLike returns the scaled stand-in for the public KDDB dataset
@@ -76,12 +85,16 @@ func GenerateClassify(cfg ClassifyConfig) (*ClassifyDataset, error) {
 		cfg.WeightNnz = cfg.Dim
 	}
 	rng := linalg.NewRNG(cfg.Seed)
-	// Zipf draws are rank-ordered (rank 0 is the hottest); scatter ranks
-	// across the index space with a multiplicative hash so feature
-	// popularity is independent of feature id. Real datasets are not sorted
-	// by popularity, and without this the range partitioner would pile all
-	// hot dimensions onto one server.
+	// Zipf draws are rank-ordered (rank 0 is the hottest); by default,
+	// scatter ranks across the index space with a multiplicative hash so
+	// feature popularity is independent of feature id — without this the
+	// range partitioner would pile all hot dimensions onto one server.
+	// SortedFeatures keeps the rank order as the id order instead, modeling
+	// frequency-sorted feature dictionaries.
 	scatter := func(rank int) int {
+		if cfg.SortedFeatures {
+			return rank
+		}
 		return int((uint64(rank)*2654435761 + 97) % uint64(cfg.Dim))
 	}
 	truth := make([]float64, cfg.Dim)

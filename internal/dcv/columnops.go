@@ -16,19 +16,39 @@ import (
 // the cost the paper's Figure 4 warns about and that the derive operator
 // exists to avoid.
 
-// ShardSpan describes one server's slice of a zip computation: the dimension
-// range [Lo, Hi) and, for each operand vector, the aligned value slice.
-// Rows[0] is the target vector's slice and is always live server memory;
-// Rows[i>0] are live memory for co-located operands and fetched copies for
-// shuffled ones.
+// ShardSpan describes one server's slice of a zip computation: the owned
+// dimensions and, for each operand vector, the aligned value slice. Under
+// the default contiguous placement the dimensions are the range [Lo, Hi) and
+// Cols is nil; under a non-contiguous placement Cols lists the absolute
+// dimensions in local storage order and Lo/Hi are 0 (consumers that need the
+// absolute index of position i use At). Rows[0] is the target vector's slice
+// and is always live server memory; Rows[i>0] are live memory for co-located
+// operands and fetched copies for shuffled ones.
 type ShardSpan struct {
 	Shard  int
 	Lo, Hi int
+	Cols   []int
 	Rows   [][]float64
 }
 
 // Width returns the number of dimensions in the span.
-func (sp ShardSpan) Width() int { return sp.Hi - sp.Lo }
+func (sp ShardSpan) Width() int {
+	if sp.Cols != nil {
+		return len(sp.Cols)
+	}
+	return sp.Hi - sp.Lo
+}
+
+// Contiguous reports whether the span covers a dense dimension range.
+func (sp ShardSpan) Contiguous() bool { return sp.Cols == nil }
+
+// At returns the absolute dimension stored at local position i.
+func (sp ShardSpan) At(i int) int {
+	if sp.Cols != nil {
+		return sp.Cols[i]
+	}
+	return sp.Lo + i
+}
 
 // zipInvoke runs fn on every logical shard of v with aligned operand slices,
 // charging request/response traffic, per-element server work, and — for
@@ -46,15 +66,15 @@ func (v *Vector) zipInvoke(p *simnet.Proc, from *simnet.Node, others []*Vector,
 			return fmt.Errorf("dcv: dimension mismatch: %d vs %d", v.mat.Dim, ov.mat.Dim)
 		}
 		// The shuffle path pairs logical shard s of the operand with logical
-		// shard s of the target, so the partitioners must carve the dimension
+		// shard s of the target, so the placements must carve the dimension
 		// identically — otherwise the slices are misaligned (or out of range).
-		if ov.mat != v.mat && !ov.mat.Part.Same(v.mat.Part) {
-			return fmt.Errorf("dcv: operand %d spans %d servers where the target spans %d: %w",
-				i, ov.mat.Part.Servers, v.mat.Part.Servers, ErrPartitionMismatch)
+		if ov.mat != v.mat && !ps.SamePlacement(ov.mat.Part, v.mat.Part) {
+			return fmt.Errorf("dcv: operand %d placement %q differs from target placement %q: %w",
+				i, ov.mat.Part.Fingerprint(), v.mat.Part.Fingerprint(), ErrPartitionMismatch)
 		}
 	}
 	cost := v.sess.Master.Cl.Cost
-	errs := make([]error, v.mat.Part.Servers)
+	errs := make([]error, v.mat.Part.NumServers())
 	g := p.Sim().NewGroup()
 	// fn may mutate the target row and any co-located operand row (ZipMap's
 	// contract); shuffled operands are fetched copies, never live memory.
@@ -64,7 +84,7 @@ func (v *Vector) zipInvoke(p *simnet.Proc, from *simnet.Node, others []*Vector,
 			touched = append(touched, ov.row)
 		}
 	}
-	for s := 0; s < v.mat.Part.Servers; s++ {
+	for s := 0; s < v.mat.Part.NumServers(); s++ {
 		s := s
 		g.Go("zip", func(cp *simnet.Proc) {
 			// Allocated once per shard and reused across the retry loop: the
@@ -83,7 +103,7 @@ func (v *Vector) zipInvoke(p *simnet.Proc, from *simnet.Node, others []*Vector,
 				Touched:   touched,
 				Fn: func(fp *simnet.Proc, sh *ps.Shard) error {
 					host := v.mat.ServerNode(s)
-					width := sh.Hi - sh.Lo
+					width := sh.Width()
 					rows[0] = sh.Rows[v.row]
 					for i, ov := range others {
 						if ov.mat == v.mat {
@@ -106,7 +126,8 @@ func (v *Vector) zipInvoke(p *simnet.Proc, from *simnet.Node, others []*Vector,
 						rows[1+i] = shuffled[i]
 					}
 					host.Compute(fp, workPerElem*float64(width)*float64(1+len(others)))
-					fn(ShardSpan{Shard: s, Lo: sh.Lo, Hi: sh.Hi, Rows: rows})
+					view := sh.View()
+					fn(ShardSpan{Shard: s, Lo: view.Lo, Hi: view.Hi, Cols: view.Cols, Rows: rows})
 					return nil
 				},
 			})
@@ -129,7 +150,7 @@ func (v *Vector) TryDot(p *simnet.Proc, from *simnet.Node, other *Vector) (float
 	cost := v.sess.Master.Cl.Cost
 	// One slot per shard (not `total += partial`): a retried invocation
 	// re-executes fn, and assignment is idempotent where accumulation is not.
-	partials := make([]float64, v.mat.Part.Servers)
+	partials := make([]float64, v.mat.Part.NumServers())
 	err := v.zipInvoke(p, from, []*Vector{other}, 8, cost.FlopsPerElem, func(sp ShardSpan) {
 		var partial float64
 		a, b := sp.Rows[0], sp.Rows[1]
@@ -336,7 +357,7 @@ func ZipReduce[R any](p *simnet.Proc, from *simnet.Node, v *Vector, workPerElem,
 			return nil, ErrNotColocated
 		}
 	}
-	out := make([]R, v.mat.Part.Servers)
+	out := make([]R, v.mat.Part.NumServers())
 	err := v.zipInvoke(p, from, others, respBytes, workPerElem, func(sp ShardSpan) {
 		out[sp.Shard] = fn(sp)
 	})

@@ -239,7 +239,7 @@ func (b *Batch) ZipMap(v *Vector, workPerElem float64, fn func(lo int, rows [][]
 			for i, r := range rowIdx {
 				rows[i] = sh.Rows[r]
 			}
-			fn(sh.Lo, rows)
+			fn(sh.View().Lo, rows)
 			return 0
 		},
 	})

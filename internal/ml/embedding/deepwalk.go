@@ -233,13 +233,13 @@ func initEmbeddings(p *simnet.Proc, e *core.Engine, mat *ps.Matrix, vertices int
 	scale := 1.0 / math.Sqrt(float64(cfg.K))
 	cost := e.Cluster.Cost
 	g := p.Sim().NewGroup()
-	for s := 0; s < mat.Part.Servers; s++ {
+	for s := 0; s < mat.Part.NumServers(); s++ {
 		s := s
 		g.Go("init-embeddings", func(cp *simnet.Proc) {
 			sh := mat.ShardOf(s)
 			srv := mat.ServerNode(s)
 			e.Driver().Send(cp, srv, cost.RequestOverheadB)
-			srv.Compute(cp, cost.ElemWork(len(sh.Rows)*(sh.Hi-sh.Lo)))
+			srv.Compute(cp, cost.ElemWork(len(sh.Rows)*sh.Width()))
 			rng := linalg.NewRNG(cfg.Seed*77 + 13 + uint64(s)*1_000_003)
 			for r := range sh.Rows {
 				row := sh.Rows[r]
@@ -280,7 +280,7 @@ func (dw *dcvWorker) step(tc *rdd.TaskContext, center int, contexts []int, label
 	// Server-side dots: request carries the row ids, response the partials.
 	// Each server assigns into its own slot (never accumulates into shared
 	// host memory) so a retried invocation after a crash stays idempotent.
-	partsByServer := make([][]float64, mat.Part.Servers)
+	partsByServer := make([][]float64, mat.Part.NumServers())
 	dotReq, dotResp := 4*float64(1+nctx), 8*float64(nctx)
 	dotWork := func(w int) float64 { return cost.ElemWork(w * nctx) }
 	dotFn := func(s int, sh *ps.Shard) float64 {
@@ -479,10 +479,10 @@ func (m *Model) hostInputTable() [][]float64 {
 	for v := range table {
 		table[v] = make([]float64, m.K)
 	}
-	for s := 0; s < m.Mat.Part.Servers; s++ {
+	for s := 0; s < m.Mat.Part.NumServers(); s++ {
 		sh := m.Mat.ShardOf(s)
 		for v := 0; v < m.V; v++ {
-			copy(table[v][sh.Lo:sh.Hi], sh.Rows[v])
+			sh.Scatter(sh.Rows[v], table[v])
 		}
 	}
 	return table

@@ -204,13 +204,13 @@ func initFactors(p *simnet.Proc, e *core.Engine, factors []*dcv.Vector, cfg Conf
 		rows[f] = v.Row()
 	}
 	g := p.Sim().NewGroup()
-	for s := 0; s < mat.Part.Servers; s++ {
+	for s := 0; s < mat.Part.NumServers(); s++ {
 		s := s
 		g.Go("init-factors", func(cp *simnet.Proc) {
 			sh := mat.ShardOf(s)
 			srv := mat.ServerNode(s)
 			e.Driver().Send(cp, srv, cost.RequestOverheadB)
-			srv.Compute(cp, cost.ElemWork(len(rows)*(sh.Hi-sh.Lo)))
+			srv.Compute(cp, cost.ElemWork(len(rows)*sh.Width()))
 			rng := linalg.NewRNG(cfg.Seed*131 + uint64(s))
 			for _, r := range rows {
 				row := sh.Rows[r]

@@ -256,6 +256,12 @@ func (st *trainerState) findSplitPS2(p *simnet.Proc, tot nodeTotals, mask []bool
 	lambda := cfg.Lambda
 	results, err := dcv.ZipReduce(p, st.e.Driver(), st.gradHist, st.e.Cluster.Cost.FlopsPerElem, 64,
 		func(sp dcv.ShardSpan) serverSplit {
+			if !sp.Contiguous() {
+				// The prefix-sum scan and boundary-piece protocol assume each
+				// server owns a dense bin range; create the histogram matrices
+				// with the default range placement.
+				panic("gbdt: split finding requires a contiguous placement")
+			}
 			res := serverSplit{Best: Split{Feature: -1, Gain: math.Inf(-1)}}
 			gRow, hRow := sp.Rows[0], sp.Rows[1]
 			firstF := sp.Lo / cfg.Bins

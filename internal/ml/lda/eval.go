@@ -15,9 +15,9 @@ func (m *Model) Phi(beta float64) [][]float64 {
 	vb := float64(m.Vocab) * beta
 	for k := 0; k < m.Topics; k++ {
 		row := make([]float64, m.Vocab)
-		for s := 0; s < m.WordTopic.Part.Servers; s++ {
+		for s := 0; s < m.WordTopic.Part.NumServers(); s++ {
 			sh := m.WordTopic.ShardOf(s)
-			copy(row[sh.Lo:sh.Hi], sh.Rows[k])
+			sh.Scatter(sh.Rows[k], row)
 		}
 		denom := m.Totals[k] + vb
 		for w := range row {
@@ -147,9 +147,9 @@ func CoherenceUMass(docs []data.Document, topWords []int, n int) float64 {
 // TopWordsHost returns the n highest-count words of a topic, read host-side.
 func (m *Model) TopWordsHost(topic, n int) []int {
 	row := make([]float64, m.Vocab)
-	for s := 0; s < m.WordTopic.Part.Servers; s++ {
+	for s := 0; s < m.WordTopic.Part.NumServers(); s++ {
 		sh := m.WordTopic.ShardOf(s)
-		copy(row[sh.Lo:sh.Hi], sh.Rows[topic])
+		sh.Scatter(sh.Rows[topic], row)
 	}
 	type wc struct {
 		w int

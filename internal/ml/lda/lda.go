@@ -178,7 +178,7 @@ func pushDeltas(tc *rdd.TaskContext, mat *ps.Matrix, delta map[int]map[int]float
 		k, w int
 		v    float64
 	}
-	byServer := make([][]triplet, mat.Part.Servers)
+	byServer := make([][]triplet, mat.Part.NumServers())
 	for k, words := range delta {
 		for w, v := range words {
 			s := mat.Part.ServerOf(w)
@@ -206,7 +206,7 @@ func pushDeltas(tc *rdd.TaskContext, mat *ps.Matrix, delta map[int]map[int]float
 			tc.Node.Send(cp, srv, bytes)
 			srv.Compute(cp, cost.RequestHandleWork+cost.ElemWork(len(trips)))
 			for _, tr := range trips {
-				sh.Rows[tr.k][tr.w-sh.Lo] += tr.v
+				sh.Rows[tr.k][sh.Local(tr.w)] += tr.v
 			}
 			srv.Send(cp, tc.Node, cost.RequestOverheadB)
 		})
@@ -236,7 +236,7 @@ func pullWordCounts(tc *rdd.TaskContext, mat *ps.Matrix, words []int, cfg Config
 			for _, w := range idx {
 				vec := make([]float64, mat.Rows)
 				for k := 0; k < mat.Rows; k++ {
-					vec[k] = sh.Rows[k][w-sh.Lo]
+					vec[k] = sh.Rows[k][sh.Local(w)]
 				}
 				out[w] = vec
 			}

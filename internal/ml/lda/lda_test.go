@@ -69,7 +69,7 @@ func TestCountsConservationInvariant(t *testing.T) {
 	var total float64
 	for k := 0; k < model.Topics; k++ {
 		var rs float64
-		for s := 0; s < model.WordTopic.Part.Servers; s++ {
+		for s := 0; s < model.WordTopic.Part.NumServers(); s++ {
 			sh := model.WordTopic.ShardOf(s)
 			for _, v := range sh.Rows[k] {
 				if v < -1e-9 {
@@ -122,9 +122,9 @@ func TestTopicsRecoverStructure(t *testing.T) {
 // topWordsHostSide reads the shard memory directly (test-only shortcut).
 func topWordsHostSide(m *Model, topic, n int) []int {
 	row := make([]float64, m.Vocab)
-	for s := 0; s < m.WordTopic.Part.Servers; s++ {
+	for s := 0; s < m.WordTopic.Part.NumServers(); s++ {
 		sh := m.WordTopic.ShardOf(s)
-		copy(row[sh.Lo:sh.Hi], sh.Rows[topic])
+		sh.Scatter(sh.Rows[topic], row)
 	}
 	out := make([]int, 0, n)
 	for len(out) < n {
@@ -361,7 +361,7 @@ func TestSparseSamplerConservesCounts(t *testing.T) {
 	var total float64
 	for k := 0; k < model.Topics; k++ {
 		var rs float64
-		for s := 0; s < model.WordTopic.Part.Servers; s++ {
+		for s := 0; s < model.WordTopic.Part.NumServers(); s++ {
 			sh := model.WordTopic.ShardOf(s)
 			for _, v := range sh.Rows[k] {
 				if v < -1e-9 {

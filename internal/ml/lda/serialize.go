@@ -25,9 +25,9 @@ func (m *Model) Save(w io.Writer) error {
 		Totals: m.Totals, Words: make([][]int, m.Topics), Counts: make([][]float64, m.Topics)}
 	row := make([]float64, m.Vocab)
 	for k := 0; k < m.Topics; k++ {
-		for s := 0; s < m.WordTopic.Part.Servers; s++ {
+		for s := 0; s < m.WordTopic.Part.NumServers(); s++ {
 			sh := m.WordTopic.ShardOf(s)
-			copy(row[sh.Lo:sh.Hi], sh.Rows[k])
+			sh.Scatter(sh.Rows[k], row)
 		}
 		for word, c := range row {
 			if c != 0 {

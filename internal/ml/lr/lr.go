@@ -6,6 +6,7 @@
 package lr
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -77,6 +78,16 @@ type Config struct {
 	// summation of gradient contributions, so it is kept off the staleness-0
 	// bit-identity arm.
 	Cache *ps.CacheConfig
+
+	// Replicas, when non-nil, serves the hot-column subset of the weight
+	// pulls through a ps.HotReplicaSet: the configured columns are
+	// replicated on every server, reads of them go to a rotating server
+	// instead of the owner, and writes invalidate through per-element
+	// version stamps. Staleness 0 keeps the trained model bit-identical
+	// (the weight row is frozen while tasks execute, exactly the cache's
+	// argument). Mutually exclusive with Cache — both intercept the same
+	// pull, so configuring both is an error.
+	Replicas *ps.ReplicaConfig
 
 	Seed uint64
 }
@@ -228,9 +239,22 @@ func Train(p *simnet.Proc, e *core.Engine, dataset *rdd.RDD[data.Instance], dim 
 	var cache *ps.CachedClient
 	var gradBufs map[*simnet.Node]*ps.PushBuffer
 	if cfg.Cache != nil {
+		if cfg.Replicas != nil {
+			return nil, errors.New("lr: Cache and Replicas both intercept the weight pull; configure one")
+		}
 		cache = ps.NewCachedClient(weight.Matrix(), *cfg.Cache)
 		if cfg.Cache.CombinePushes {
 			gradBufs = map[*simnet.Node]*ps.PushBuffer{}
+		}
+	}
+	// Optional hot-parameter replication: reads of the configured hot
+	// columns spread over all servers instead of hammering their owners.
+	var replicas *ps.HotReplicaSet
+	if cfg.Replicas != nil {
+		var err error
+		replicas, err = ps.NewHotReplicaSet(weight.Matrix(), *cfg.Replicas)
+		if err != nil {
+			return nil, err
 		}
 	}
 
@@ -246,9 +270,12 @@ func Train(p *simnet.Proc, e *core.Engine, dataset *rdd.RDD[data.Instance], dim 
 			// served from the executor's cache when one is configured.
 			idx := DistinctIndices(rows)
 			var vals []float64
-			if cache != nil {
+			switch {
+			case cache != nil:
 				vals = cache.PullRowIndices(tc.P, tc.Node, weight.Row(), idx)
-			} else {
+			case replicas != nil:
+				vals = replicas.PullRowIndices(tc.P, tc.Node, weight.Row(), idx)
+			default:
 				vals = weight.PullIndices(tc.P, tc.Node, idx)
 			}
 			local := make(map[int]float64, len(idx))
@@ -339,6 +366,9 @@ func Train(p *simnet.Proc, e *core.Engine, dataset *rdd.RDD[data.Instance], dim 
 		// revalidated against the new version stamps.
 		if cache != nil {
 			cache.Tick()
+		}
+		if replicas != nil {
+			replicas.Tick()
 		}
 		trace.Add(p.Now(), lossSum/float64(count))
 		if cfg.CheckpointEvery > 0 && (it+1)%cfg.CheckpointEvery == 0 {

@@ -20,7 +20,49 @@ type Snapshot struct {
 	Recovery RecoverySnapshot
 	Fusion   FusionSnapshot
 	Cache    CacheSnapshot
+	Load     LoadSnapshot
 	Phases   PhaseSnapshot
+}
+
+// LoadSnapshot is the placement view: how evenly request traffic spread over
+// the physical parameter servers. Ops counts shard calls served and Bytes the
+// request+response payload, both indexed by physical server. The imbalance
+// gauges are max/mean ratios — 1.0 is a perfectly even spread, S (the server
+// count) means one server carried everything.
+type LoadSnapshot struct {
+	Ops   []float64
+	Bytes []float64
+}
+
+// imbalance returns max/mean of xs, or 0 for an empty or all-zero slice.
+func imbalance(xs []float64) float64 {
+	var sum, maxV float64
+	for _, x := range xs {
+		sum += x
+		if x > maxV {
+			maxV = x
+		}
+	}
+	if sum <= 0 {
+		return 0
+	}
+	return maxV / (sum / float64(len(xs)))
+}
+
+// OpsImbalance returns the max/mean ratio of per-server served calls.
+func (l LoadSnapshot) OpsImbalance() float64 { return imbalance(l.Ops) }
+
+// BytesImbalance returns the max/mean ratio of per-server served bytes.
+func (l LoadSnapshot) BytesImbalance() float64 { return imbalance(l.Bytes) }
+
+// Active reports whether any server load was recorded.
+func (l LoadSnapshot) Active() bool {
+	for _, x := range l.Ops {
+		if x > 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // NetSnapshot is the communication view: RPC-layer counters from the PS
@@ -187,6 +229,10 @@ func (s Snapshot) String() string {
 		}
 		b.WriteByte('\n')
 	}
+	if s.Load.Active() {
+		fmt.Fprintf(&b, "load: %d servers, imbalance %.2fx ops / %.2fx bytes (max/mean)\n",
+			len(s.Load.Ops), s.Load.OpsImbalance(), s.Load.BytesImbalance())
+	}
 	if s.Recovery.ServerCrashes > 0 || s.Recovery.Recoveries > 0 {
 		fmt.Fprintf(&b, "recovery: %d crashes, %d detected (mean %.2fs), %d recovered (mean %.2fs), %.1f MB restored\n",
 			s.Recovery.ServerCrashes, s.Recovery.Detections, s.Recovery.MeanDetectLatency(),
@@ -231,6 +277,14 @@ func (s Snapshot) Fill(r *Registry) {
 	r.Set("", "cache", "flushes", float64(s.Cache.Flushes))
 	r.Set("", "cache", "flushed.mb", s.Cache.FlushedMB)
 	r.Set("", "cache", "flush.baseline.mb", s.Cache.FlushBaseMB)
+
+	r.Set("", "load", "ops.imbalance", s.Load.OpsImbalance())
+	r.Set("", "load", "bytes.imbalance", s.Load.BytesImbalance())
+	for i := range s.Load.Ops {
+		node := fmt.Sprintf("server-%d", i)
+		r.Set(node, "load", "ops", s.Load.Ops[i])
+		r.Set(node, "load", "bytes", s.Load.Bytes[i])
+	}
 
 	r.Set("", "recovery", "crashes", float64(s.Recovery.ServerCrashes))
 	r.Set("", "recovery", "detections", float64(s.Recovery.Detections))

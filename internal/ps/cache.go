@@ -40,6 +40,8 @@ package ps
 // the only virtual charges are the validation/fetch RPCs themselves.
 
 import (
+	"sort"
+
 	"repro/internal/simnet"
 )
 
@@ -291,18 +293,23 @@ func (cc *CachedClient) TryPullRowIndices(p *simnet.Proc, from *simnet.Node, row
 	nc := cc.node(from)
 	out := make([]float64, len(indices))
 	split := mat.Part.SplitIndices(indices)
-	errs := make([]error, mat.Part.Servers)
+	errs := make([]error, mat.Part.NumServers())
 	g := p.Sim().NewGroup()
-	offset := 0
-	for s := 0; s < mat.Part.Servers; s++ {
+	for s := 0; s < mat.Part.NumServers(); s++ {
 		idx := split[s]
 		if len(idx) == 0 {
 			continue
 		}
-		s, off := s, offset
-		offset += len(idx)
+		s := s
 		g.Go("cache-pull", func(cp *simnet.Proc) {
-			errs[s] = cc.pullIndicesShard(cp, from, nc, row, s, idx, out[off:off+len(idx)])
+			// Fill a shard-local buffer, then scatter to each column's global
+			// position: non-contiguous placements interleave server groups in
+			// the sorted request, so the groups do not concatenate in order.
+			sub := make([]float64, len(idx))
+			errs[s] = cc.pullIndicesShard(cp, from, nc, row, s, idx, sub)
+			for k, col := range idx {
+				out[sort.SearchInts(indices, col)] = sub[k]
+			}
 		})
 	}
 	g.Wait(p)
@@ -375,11 +382,11 @@ func (cc *CachedClient) pullIndicesShard(cp *simnet.Proc, from *simnet.Node, nc 
 				}
 				for _, col := range stale {
 					if sh.ElemVer(row, col) > e.vals[col].ver {
-						changed[col] = sh.Rows[row][col-sh.Lo]
+						changed[col] = sh.Rows[row][sh.Local(col)]
 					}
 				}
 				for j, col := range missing {
-					missVal[j] = sh.Rows[row][col-sh.Lo]
+					missVal[j] = sh.Rows[row][sh.Local(col)]
 				}
 				return nil
 			},
@@ -449,9 +456,9 @@ func (cc *CachedClient) TryPullRows(p *simnet.Proc, from *simnet.Node, rows []in
 	for i := range out {
 		out[i] = make([]float64, mat.Dim)
 	}
-	errs := make([]error, mat.Part.Servers)
+	errs := make([]error, mat.Part.NumServers())
 	g := p.Sim().NewGroup()
-	for s := 0; s < mat.Part.Servers; s++ {
+	for s := 0; s < mat.Part.NumServers(); s++ {
 		s := s
 		g.Go("cache-pull-rows", func(cp *simnet.Proc) {
 			errs[s] = cc.pullRowsShard(cp, from, nc, rows, s, out)
@@ -466,8 +473,8 @@ func (cc *CachedClient) pullRowsShard(cp *simnet.Proc, from *simnet.Node, nc *no
 	rows []int, s int, out [][]float64) error {
 	m := cc.mat.master
 	cost := m.Cl.Cost
-	lo, hi := cc.mat.Part.Range(s)
-	width := hi - lo
+	v := cc.mat.Part.View(s)
+	width := v.Width()
 	m.Cache.BaselineBytes += 2*cost.RequestOverheadB + 4*float64(len(rows)) + 8*float64(len(rows)*width)
 	// Unique rows in first-appearance order; duplicates are served from the
 	// same fetch (the uncached operator ships them twice).
@@ -506,7 +513,7 @@ func (cc *CachedClient) pullRowsShard(cp *simnet.Proc, from *simnet.Node, nc *no
 		if len(stale) == 0 && len(missing) == 0 {
 			m.Cache.Hits++
 			for i, r := range rows {
-				copy(out[i][lo:hi], rowVals[r])
+				v.Scatter(rowVals[r], out[i])
 			}
 			return nil
 		}
@@ -585,7 +592,7 @@ func (cc *CachedClient) pullRowsShard(cp *simnet.Proc, from *simnet.Node, nc *no
 		}
 		nc.evict(cc.cfg.CapacityBytes, &m.Cache)
 		for i, r := range rows {
-			copy(out[i][lo:hi], rowVals[r])
+			v.Scatter(rowVals[r], out[i])
 		}
 		return nil
 	}

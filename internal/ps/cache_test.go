@@ -160,7 +160,7 @@ func TestCacheEpochFencesStaleEntriesAfterRecovery(t *testing.T) {
 				t.Fatalf("row 1 col %d = %v after recovery, want restored %v", c, v, wantRow[c])
 			}
 		}
-		lo, _ := mat.Part.Range(0)
+		lo, _ := mat.Part.(*Partitioner).Range(0)
 		if got[0] != float64(idx[0]) || rows[0][lo] != float64(lo) {
 			t.Fatalf("restored values should have lost the +100 update: got %v / %v", got[0], rows[0][lo])
 		}
@@ -311,7 +311,7 @@ func TestDirtySkipKeepsCheckpointSizes(t *testing.T) {
 		// dirty flags, row 4 dirty but unchanged, row 2 changed at 3 places.
 		var want float64
 		for s := 0; s < 2; s++ {
-			lo, hi := mat.Part.Range(s)
+			lo, hi := mat.Part.(*Partitioner).Range(s)
 			n := 0
 			for _, c := range []int{0, 49, 99} {
 				if c >= lo && c < hi {

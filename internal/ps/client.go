@@ -74,19 +74,18 @@ func (mat *Matrix) TryPullRow(p *simnet.Proc, from *simnet.Node, row int) ([]flo
 	mat.checkRow(row)
 	cost := mat.master.Cl.Cost
 	out := make([]float64, mat.Dim)
-	errs := make([]error, mat.Part.Servers)
+	errs := make([]error, mat.Part.NumServers())
 	g := p.Sim().NewGroup()
-	for s := 0; s < mat.Part.Servers; s++ {
+	for s := 0; s < mat.Part.NumServers(); s++ {
 		s := s
 		g.Go("pull", func(cp *simnet.Proc) {
-			lo, hi := mat.Part.Range(s)
 			errs[s] = mat.CallShard(cp, from, CallSpec{
 				Name:      "pull",
 				Shard:     s,
 				ReqBytes:  cost.RequestOverheadB,
-				RespBytes: cost.DenseBytes(hi - lo),
+				RespBytes: cost.DenseBytes(mat.Part.Width(s)),
 				Fn: func(_ *simnet.Proc, sh *Shard) error {
-					copy(out[sh.Lo:sh.Hi], sh.Rows[row])
+					sh.Scatter(sh.Rows[row], out)
 					return nil
 				},
 			})
@@ -113,9 +112,9 @@ func (mat *Matrix) TryPullRowCompressed(p *simnet.Proc, from *simnet.Node, row i
 	mat.checkRow(row)
 	cost := mat.master.Cl.Cost
 	out := make([]float64, mat.Dim)
-	errs := make([]error, mat.Part.Servers)
+	errs := make([]error, mat.Part.NumServers())
 	g := p.Sim().NewGroup()
-	for s := 0; s < mat.Part.Servers; s++ {
+	for s := 0; s < mat.Part.NumServers(); s++ {
 		s := s
 		g.Go("pull-compressed", func(cp *simnet.Proc) {
 			errs[s] = mat.CallShard(cp, from, CallSpec{
@@ -127,9 +126,7 @@ func (mat *Matrix) TryPullRowCompressed(p *simnet.Proc, from *simnet.Node, row i
 					return cost.SparseBytes(linalg.NnzDense(sh.Rows[row]))
 				},
 				Fn: func(_ *simnet.Proc, sh *Shard) error {
-					for c, val := range sh.Rows[row] {
-						out[sh.Lo+c] = val
-					}
+					sh.Scatter(sh.Rows[row], out)
 					return nil
 				},
 			})
@@ -170,16 +167,14 @@ func (mat *Matrix) TryPullRowIndices(p *simnet.Proc, from *simnet.Node, row int,
 	cost := mat.master.Cl.Cost
 	out := make([]float64, len(indices))
 	split := mat.Part.SplitIndices(indices)
-	errs := make([]error, mat.Part.Servers)
+	errs := make([]error, mat.Part.NumServers())
 	g := p.Sim().NewGroup()
-	offset := 0
-	for s := 0; s < mat.Part.Servers; s++ {
+	for s := 0; s < mat.Part.NumServers(); s++ {
 		idx := split[s]
 		if len(idx) == 0 {
 			continue
 		}
-		s, off := s, offset
-		offset += len(idx)
+		s := s
 		g.Go("pull-sparse", func(cp *simnet.Proc) {
 			errs[s] = mat.CallShard(cp, from, CallSpec{
 				Name:  "pull-sparse",
@@ -188,8 +183,12 @@ func (mat *Matrix) TryPullRowIndices(p *simnet.Proc, from *simnet.Node, row int,
 				ReqBytes:  cost.RequestOverheadB + 4*float64(len(idx)),
 				RespBytes: cost.RequestOverheadB + 8*float64(len(idx)),
 				Fn: func(_ *simnet.Proc, sh *Shard) error {
-					for k, col := range idx {
-						out[off+k] = sh.Rows[row][col-sh.Lo]
+					// Non-contiguous placements interleave server groups in
+					// the sorted request, so map each column back to its
+					// global position rather than assuming the groups
+					// concatenate in order.
+					for _, col := range idx {
+						out[sort.SearchInts(indices, col)] = sh.Rows[row][sh.Local(col)]
 					}
 					return nil
 				},
@@ -219,16 +218,14 @@ func (mat *Matrix) TryPushAdd(p *simnet.Proc, from *simnet.Node, row int, delta 
 	}
 	cost := mat.master.Cl.Cost
 	split := mat.Part.SplitIndices(delta.Indices)
-	errs := make([]error, mat.Part.Servers)
+	errs := make([]error, mat.Part.NumServers())
 	g := p.Sim().NewGroup()
-	offset := 0
-	for s := 0; s < mat.Part.Servers; s++ {
+	for s := 0; s < mat.Part.NumServers(); s++ {
 		idx := split[s]
 		if len(idx) == 0 {
 			continue
 		}
-		s, off := s, offset
-		offset += len(idx)
+		s := s
 		g.Go("push", func(cp *simnet.Proc) {
 			errs[s] = mat.CallShard(cp, from, CallSpec{
 				Name:      "push-add",
@@ -239,8 +236,11 @@ func (mat *Matrix) TryPushAdd(p *simnet.Proc, from *simnet.Node, row int, delta 
 				Mutates:   true,
 				Touched:   []int{row},
 				Fn: func(_ *simnet.Proc, sh *Shard) error {
-					for k, col := range idx {
-						sh.Rows[row][col-sh.Lo] += delta.Values[off+k]
+					// As in TryPullRowIndices: look up each column's global
+					// position, since non-contiguous placements interleave
+					// server groups in the sorted delta.
+					for _, col := range idx {
+						sh.Rows[row][sh.Local(col)] += delta.Values[sort.SearchInts(delta.Indices, col)]
 					}
 					return nil
 				},
@@ -267,24 +267,21 @@ func (mat *Matrix) TryPushAddDense(p *simnet.Proc, from *simnet.Node, row int, d
 		panic(fmt.Sprintf("ps: PushAddDense got %d values for dim %d", len(delta), mat.Dim))
 	}
 	cost := mat.master.Cl.Cost
-	errs := make([]error, mat.Part.Servers)
+	errs := make([]error, mat.Part.NumServers())
 	g := p.Sim().NewGroup()
-	for s := 0; s < mat.Part.Servers; s++ {
+	for s := 0; s < mat.Part.NumServers(); s++ {
 		s := s
 		g.Go("push-dense", func(cp *simnet.Proc) {
-			lo, hi := mat.Part.Range(s)
 			errs[s] = mat.CallShard(cp, from, CallSpec{
 				Name:      "push-dense",
 				Shard:     s,
-				ReqBytes:  cost.DenseBytes(hi - lo),
+				ReqBytes:  cost.DenseBytes(mat.Part.Width(s)),
 				RespBytes: cost.RequestOverheadB, // ack
 				Work:      func(w int) float64 { return cost.ElemWork(w) },
 				Mutates:   true,
 				Touched:   []int{row},
 				Fn: func(_ *simnet.Proc, sh *Shard) error {
-					for c := sh.Lo; c < sh.Hi; c++ {
-						sh.Rows[row][c-sh.Lo] += delta[c]
-					}
+					sh.GatherAdd(sh.Rows[row], delta)
 					return nil
 				},
 			})
@@ -309,21 +306,20 @@ func (mat *Matrix) TrySetRow(p *simnet.Proc, from *simnet.Node, row int, values 
 		panic(fmt.Sprintf("ps: SetRow got %d values for dim %d", len(values), mat.Dim))
 	}
 	cost := mat.master.Cl.Cost
-	errs := make([]error, mat.Part.Servers)
+	errs := make([]error, mat.Part.NumServers())
 	g := p.Sim().NewGroup()
-	for s := 0; s < mat.Part.Servers; s++ {
+	for s := 0; s < mat.Part.NumServers(); s++ {
 		s := s
 		g.Go("set-row", func(cp *simnet.Proc) {
-			lo, hi := mat.Part.Range(s)
 			errs[s] = mat.CallShard(cp, from, CallSpec{
 				Name:      "set-row",
 				Shard:     s,
-				ReqBytes:  cost.DenseBytes(hi - lo),
+				ReqBytes:  cost.DenseBytes(mat.Part.Width(s)),
 				RespBytes: cost.RequestOverheadB,
 				Mutates:   true,
 				Touched:   []int{row},
 				Fn: func(_ *simnet.Proc, sh *Shard) error {
-					copy(sh.Rows[row], values[sh.Lo:sh.Hi])
+					sh.Gather(sh.Rows[row], values)
 					return nil
 				},
 			})
@@ -354,12 +350,12 @@ func (mat *Matrix) TryPullRowRange(p *simnet.Proc, from *simnet.Node, row, lo, h
 	}
 	cost := mat.master.Cl.Cost
 	out := make([]float64, hi-lo)
-	errs := make([]error, mat.Part.Servers)
+	errs := make([]error, mat.Part.NumServers())
 	g := p.Sim().NewGroup()
-	for s := 0; s < mat.Part.Servers; s++ {
-		sLo, sHi := mat.Part.Range(s)
-		oLo, oHi := max(lo, sLo), min(hi, sHi)
-		if oLo >= oHi {
+	for s := 0; s < mat.Part.NumServers(); s++ {
+		v := mat.Part.View(s)
+		a, b := rangeSpan(v, lo, hi)
+		if a >= b {
 			continue
 		}
 		s := s
@@ -368,9 +364,15 @@ func (mat *Matrix) TryPullRowRange(p *simnet.Proc, from *simnet.Node, row, lo, h
 				Name:      "pull-range",
 				Shard:     s,
 				ReqBytes:  cost.RequestOverheadB,
-				RespBytes: cost.DenseBytes(oHi - oLo),
+				RespBytes: cost.DenseBytes(b - a),
 				Fn: func(_ *simnet.Proc, sh *Shard) error {
-					copy(out[oLo-lo:oHi-lo], sh.Rows[row][oLo-sh.Lo:oHi-sh.Lo])
+					if v.Contiguous() {
+						copy(out[v.At(a)-lo:v.At(b-1)+1-lo], sh.Rows[row][a:b])
+						return nil
+					}
+					for i := a; i < b; i++ {
+						out[v.At(i)-lo] = sh.Rows[row][i]
+					}
 					return nil
 				},
 			})
@@ -396,12 +398,12 @@ func (mat *Matrix) TrySetRowRange(p *simnet.Proc, from *simnet.Node, row, lo, hi
 		panic(fmt.Sprintf("ps: SetRowRange got %d values for [%d,%d) of dim %d", len(values), lo, hi, mat.Dim))
 	}
 	cost := mat.master.Cl.Cost
-	errs := make([]error, mat.Part.Servers)
+	errs := make([]error, mat.Part.NumServers())
 	g := p.Sim().NewGroup()
-	for s := 0; s < mat.Part.Servers; s++ {
-		sLo, sHi := mat.Part.Range(s)
-		oLo, oHi := max(lo, sLo), min(hi, sHi)
-		if oLo >= oHi {
+	for s := 0; s < mat.Part.NumServers(); s++ {
+		v := mat.Part.View(s)
+		a, b := rangeSpan(v, lo, hi)
+		if a >= b {
 			continue
 		}
 		s := s
@@ -409,12 +411,18 @@ func (mat *Matrix) TrySetRowRange(p *simnet.Proc, from *simnet.Node, row, lo, hi
 			errs[s] = mat.CallShard(cp, from, CallSpec{
 				Name:      "set-range",
 				Shard:     s,
-				ReqBytes:  cost.DenseBytes(oHi - oLo),
+				ReqBytes:  cost.DenseBytes(b - a),
 				RespBytes: cost.RequestOverheadB,
 				Mutates:   true,
 				Touched:   []int{row},
 				Fn: func(_ *simnet.Proc, sh *Shard) error {
-					copy(sh.Rows[row][oLo-sh.Lo:oHi-sh.Lo], values[oLo-lo:oHi-lo])
+					if v.Contiguous() {
+						copy(sh.Rows[row][a:b], values[v.At(a)-lo:v.At(b-1)+1-lo])
+						return nil
+					}
+					for i := a; i < b; i++ {
+						sh.Rows[row][i] = values[v.At(i)-lo]
+					}
 					return nil
 				},
 			})
@@ -447,20 +455,19 @@ func (mat *Matrix) TryPullRows(p *simnet.Proc, from *simnet.Node, rows []int) ([
 	for i := range out {
 		out[i] = make([]float64, mat.Dim)
 	}
-	errs := make([]error, mat.Part.Servers)
+	errs := make([]error, mat.Part.NumServers())
 	g := p.Sim().NewGroup()
-	for s := 0; s < mat.Part.Servers; s++ {
+	for s := 0; s < mat.Part.NumServers(); s++ {
 		s := s
 		g.Go("pull-rows", func(cp *simnet.Proc) {
-			lo, hi := mat.Part.Range(s)
 			errs[s] = mat.CallShard(cp, from, CallSpec{
 				Name:      "pull-rows",
 				Shard:     s,
 				ReqBytes:  cost.RequestOverheadB + 4*float64(len(rows)),
-				RespBytes: cost.RequestOverheadB + 8*float64(len(rows)*(hi-lo)),
+				RespBytes: cost.RequestOverheadB + 8*float64(len(rows)*mat.Part.Width(s)),
 				Fn: func(_ *simnet.Proc, sh *Shard) error {
 					for i, r := range rows {
-						copy(out[i][sh.Lo:sh.Hi], sh.Rows[r])
+						sh.Scatter(sh.Rows[r], out[i])
 					}
 					return nil
 				},
@@ -492,13 +499,12 @@ func (mat *Matrix) TryPushRowsDelta(p *simnet.Proc, from *simnet.Node, rows []in
 		}
 	}
 	cost := mat.master.Cl.Cost
-	errs := make([]error, mat.Part.Servers)
+	errs := make([]error, mat.Part.NumServers())
 	g := p.Sim().NewGroup()
-	for s := 0; s < mat.Part.Servers; s++ {
+	for s := 0; s < mat.Part.NumServers(); s++ {
 		s := s
 		g.Go("push-rows", func(cp *simnet.Proc) {
-			lo, hi := mat.Part.Range(s)
-			width := hi - lo
+			width := mat.Part.Width(s)
 			errs[s] = mat.CallShard(cp, from, CallSpec{
 				Name:      "push-rows",
 				Shard:     s,
@@ -509,11 +515,7 @@ func (mat *Matrix) TryPushRowsDelta(p *simnet.Proc, from *simnet.Node, rows []in
 				Touched:   rows,
 				Fn: func(_ *simnet.Proc, sh *Shard) error {
 					for i, r := range rows {
-						row := sh.Rows[r]
-						d := deltas[i]
-						for c := sh.Lo; c < sh.Hi; c++ {
-							row[c-sh.Lo] += d[c]
-						}
+						sh.GatherAdd(sh.Rows[r], deltas[i])
 					}
 					return nil
 				},
@@ -570,14 +572,14 @@ func (mat *Matrix) TryInvokeRead(p *simnet.Proc, from *simnet.Node, reqBytes, re
 func (mat *Matrix) invoke(p *simnet.Proc, from *simnet.Node, reqBytes, respBytes float64,
 	work func(width int) float64, fn func(s int, sh *Shard) float64, mutates bool) ([]float64, error) {
 	cost := mat.master.Cl.Cost
-	partials := make([]float64, mat.Part.Servers)
-	errs := make([]error, mat.Part.Servers)
+	partials := make([]float64, mat.Part.NumServers())
+	errs := make([]error, mat.Part.NumServers())
 	g := p.Sim().NewGroup()
 	name := "invoke"
 	if !mutates {
 		name = "invoke-read"
 	}
-	for s := 0; s < mat.Part.Servers; s++ {
+	for s := 0; s < mat.Part.NumServers(); s++ {
 		s := s
 		g.Go("invoke", func(cp *simnet.Proc) {
 			errs[s] = mat.CallShard(cp, from, CallSpec{
@@ -653,12 +655,12 @@ func (mat *Matrix) TryInvokeFused(p *simnet.Proc, from *simnet.Node, ops []Invok
 	}
 	partials := make([][]float64, len(ops))
 	for i := range partials {
-		partials[i] = make([]float64, mat.Part.Servers)
+		partials[i] = make([]float64, mat.Part.NumServers())
 	}
-	errs := make([]error, mat.Part.Servers)
+	errs := make([]error, mat.Part.NumServers())
 	g := p.Sim().NewGroup()
 	tracer := mat.master.Cl.Sim.Tracer()
-	for s := 0; s < mat.Part.Servers; s++ {
+	for s := 0; s < mat.Part.NumServers(); s++ {
 		s := s
 		g.Go("invoke-fused", func(cp *simnet.Proc) {
 			errs[s] = mat.CallShard(cp, from, CallSpec{
@@ -790,6 +792,23 @@ func (mat *Matrix) checkRow(row int) {
 	if row < 0 || row >= mat.Rows {
 		panic(fmt.Sprintf("ps: row %d out of range [0,%d) for matrix %d", row, mat.Rows, mat.ID))
 	}
+}
+
+// rangeSpan returns the local storage positions [a, b) of the view's columns
+// that fall inside the absolute column range [lo, hi). Local storage order
+// is column-ascending for every placement, so the owned columns of any
+// absolute range always form one contiguous local run.
+func rangeSpan(v ColView, lo, hi int) (a, b int) {
+	if v.Cols != nil {
+		return sort.SearchInts(v.Cols, lo), sort.SearchInts(v.Cols, hi)
+	}
+	w := v.Hi - v.Lo
+	a = min(max(lo-v.Lo, 0), w)
+	b = min(max(hi-v.Lo, 0), w)
+	if b < a {
+		b = a
+	}
+	return a, b
 }
 
 // sortedUniqueInts returns a sorted copy of xs with duplicates removed (nil

@@ -101,9 +101,8 @@ func (b *PushBuffer) AddRowsDelta(rows []int, deltas [][]float64) {
 	}
 	// What TryPushRowsDelta would have paid: per server, framing + row ids +
 	// its width of every row, plus the ack.
-	for s := 0; s < b.mat.Part.Servers; s++ {
-		lo, hi := b.mat.Part.Range(s)
-		b.baseline += 2*cost.RequestOverheadB + 4*float64(len(rows)) + 8*float64(len(rows)*(hi-lo))
+	for s := 0; s < b.mat.Part.NumServers(); s++ {
+		b.baseline += 2*cost.RequestOverheadB + 4*float64(len(rows)) + 8*float64(len(rows)*b.mat.Part.Width(s))
 	}
 }
 
@@ -164,8 +163,8 @@ func (b *PushBuffer) TryFlush(p *simnet.Proc, from *simnet.Node) error {
 	}
 	// Per-server sparse payload: each dirty row's columns within the shard,
 	// already sorted (SplitIndices preserves the sorted column order).
-	parts := make([][]sparsePart, b.mat.Part.Servers)
-	nnz := make([]int, b.mat.Part.Servers)
+	parts := make([][]sparsePart, b.mat.Part.NumServers())
+	nnz := make([]int, b.mat.Part.NumServers())
 	for _, row := range sortedKeys(sparse) {
 		split := b.mat.Part.SplitIndices(sortedKeys(sparse[row]))
 		for s, cols := range split {
@@ -175,15 +174,14 @@ func (b *PushBuffer) TryFlush(p *simnet.Proc, from *simnet.Node) error {
 			}
 		}
 	}
-	errs := make([]error, b.mat.Part.Servers)
+	errs := make([]error, b.mat.Part.NumServers())
 	g := p.Sim().NewGroup()
-	for s := 0; s < b.mat.Part.Servers; s++ {
+	for s := 0; s < b.mat.Part.NumServers(); s++ {
 		if len(parts[s]) == 0 && len(denseRows) == 0 {
 			continue
 		}
 		s := s
-		lo, hi := b.mat.Part.Range(s)
-		width := hi - lo
+		width := b.mat.Part.Width(s)
 		touched := append([]int(nil), denseRows...)
 		for _, sp := range parts[s] {
 			touched = append(touched, sp.row)
@@ -203,17 +201,13 @@ func (b *PushBuffer) TryFlush(p *simnet.Proc, from *simnet.Node) error {
 				Touched:   sortedUniqueInts(touched),
 				Fn: func(_ *simnet.Proc, sh *Shard) error {
 					for _, row := range denseRows {
-						d := dense[row]
-						out := sh.Rows[row]
-						for c := sh.Lo; c < sh.Hi; c++ {
-							out[c-sh.Lo] += d[c]
-						}
+						sh.GatherAdd(sh.Rows[row], dense[row])
 					}
 					for _, sp := range parts[s] {
 						out := sh.Rows[sp.row]
 						deltas := sparse[sp.row]
 						for _, col := range sp.cols {
-							out[col-sh.Lo] += deltas[col]
+							out[sh.Local(col)] += deltas[col]
 						}
 					}
 					return nil

@@ -41,7 +41,7 @@ func TestTryOpsReturnServerDownOnLostShard(t *testing.T) {
 			t.Fatalf("TryPullRowCompressed: got %v, want ErrServerDown", err)
 		}
 		// A range entirely inside the dead server's shard.
-		lo, hi := mat.Part.Range(0)
+		lo, hi := mat.Part.(*Partitioner).Range(0)
 		if _, err := mat.TryPullRowRange(p, worker, 0, lo, hi); !errors.Is(err, ErrServerDown) {
 			t.Fatalf("TryPullRowRange: got %v, want ErrServerDown", err)
 		}
@@ -58,7 +58,7 @@ func TestTryOpsReturnServerDownOnLostShard(t *testing.T) {
 func TestRangeOpsOnLiveShardSucceedDespiteDeadNeighbor(t *testing.T) {
 	sim, mat, worker := lostServerMaster(t)
 	run(sim, func(p *simnet.Proc) {
-		lo, hi := mat.Part.Range(1) // the live server's stretch
+		lo, hi := mat.Part.(*Partitioner).Range(1) // the live server's stretch
 		got, err := mat.TryPullRowRange(p, worker, 0, lo, hi)
 		if err != nil {
 			t.Fatalf("live-shard range pull failed: %v", err)

@@ -327,7 +327,7 @@ func TestCheckpointRecoverRoundTrip(t *testing.T) {
 		}
 
 		row := mat.PullRow(p, worker, 0)
-		lo, hi := mat.Part.Range(1)
+		lo, hi := mat.Part.(*Partitioner).Range(1)
 		for c := lo; c < hi; c++ {
 			if row[c] != vals[c] {
 				t.Errorf("recovered col %d = %v, want checkpoint value %v", c, row[c], vals[c])
@@ -351,7 +351,7 @@ func TestRecoverWithoutCheckpointZeroes(t *testing.T) {
 		m.KillServer(0)
 		m.RecoverServer(p, 0)
 		row := mat.PullRow(p, worker, 0)
-		lo, hi := mat.Part.Range(0)
+		lo, hi := mat.Part.(*Partitioner).Range(0)
 		for c := lo; c < hi; c++ {
 			if row[c] != 0 {
 				t.Errorf("col %d = %v, want 0 after uncheckpointed recovery", c, row[c])

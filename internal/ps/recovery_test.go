@@ -135,14 +135,14 @@ func TestMatrixCreatedAfterCheckpointZeroRestores(t *testing.T) {
 		rowA := a.PullRow(p, worker, 0)
 		rowB := b.PullRow(p, worker, 0)
 		// Matrix a (Offset 0): logical shard 0 lives on server 0.
-		lo, hi := a.Part.Range(0)
+		lo, hi := a.Part.(*Partitioner).Range(0)
 		for c := lo; c < hi; c++ {
 			if rowA[c] != 1 {
 				t.Errorf("a[%d] = %v, want checkpointed 1", c, rowA[c])
 			}
 		}
 		// Matrix b (Offset 1): logical shard 1 lives on server 0.
-		lo, hi = b.Part.Range(1)
+		lo, hi = b.Part.(*Partitioner).Range(1)
 		for c := lo; c < hi; c++ {
 			if rowB[c] != 0 {
 				t.Errorf("b[%d] = %v, want 0 (created after last checkpoint)", c, rowB[c])
@@ -216,7 +216,7 @@ func TestUpdatesBetweenCheckpointAndCrashAreLost(t *testing.T) {
 		m.RecoverServer(p, 0)
 
 		row := mat.PullRow(p, worker, 0)
-		lo, hi := mat.Part.Range(0)
+		lo, hi := mat.Part.(*Partitioner).Range(0)
 		for c := range row {
 			want := 11.0 // survivor kept the post-checkpoint push
 			if c >= lo && c < hi {
@@ -294,7 +294,7 @@ func TestDeltaCheckpointCheaperThanFull(t *testing.T) {
 		m.KillServer(0)
 		m.RecoverServer(p, 0)
 		row := mat.PullRow(p, worker, 0)
-		lo, hi := mat.Part.Range(0)
+		lo, hi := mat.Part.(*Partitioner).Range(0)
 		for c := lo; c < hi; c++ {
 			want := vals[c]
 			if c == 0 || c == 100 || c == 399 {
@@ -342,7 +342,7 @@ func TestCheckpointSkipsDeadServer(t *testing.T) {
 		m.RecoverServer(p, 0)
 
 		row := mat.PullRow(p, worker, 0)
-		lo, hi := mat.Part.Range(0)
+		lo, hi := mat.Part.(*Partitioner).Range(0)
 		for c := lo; c < hi; c++ {
 			if row[c] != 1 {
 				t.Errorf("col %d = %v, want 1 from the pre-crash snapshot", c, row[c])

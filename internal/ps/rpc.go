@@ -225,7 +225,7 @@ func (mat *Matrix) CallShard(p *simnet.Proc, from *simnet.Node, spec CallSpec) e
 			op = t.Begin(node.ID, node.Name, obs.KServerOp, spec.Name, rpc)
 		}
 		if spec.Work != nil {
-			node.Compute(p, spec.Work(sh.Hi-sh.Lo))
+			node.Compute(p, spec.Work(sh.Width()))
 		}
 		// The server may have crashed (and even been replaced) while the
 		// request was queued on its CPU; a handler must not touch dead state.
@@ -293,6 +293,11 @@ func (mat *Matrix) CallShard(p *simnet.Proc, from *simnet.Node, spec CallSpec) e
 			}
 			continue
 		}
+		// Delivered: account the request against the physical server that
+		// served it — the per-server load view ext-skew's imbalance gauge
+		// reads.
+		m.Load[srv.Index].Ops++
+		m.Load[srv.Index].Bytes += spec.ReqBytes + respBytes
 		return nil
 	}
 	return fmt.Errorf("ps: shard %d of matrix %d unreachable after %d attempts: %w",

@@ -10,10 +10,17 @@ import (
 	"repro/internal/simnet"
 )
 
-// Shard is one server's slice of a matrix: all rows, columns [Lo, Hi).
+// Shard is one server's slice of a matrix: all rows, restricted to the
+// columns the placement assigns this server. Columns are stored densely in
+// the local order of the shard's ColView — for the default range placement
+// that is the contiguous stretch [view.Lo, view.Hi) and Rows[r][c-Lo] stores
+// element (r, c) exactly as before; for non-contiguous placements Rows[r][i]
+// stores element (r, view.At(i)) and the off map translates absolute columns
+// to local positions.
 type Shard struct {
-	Lo, Hi int
-	Rows   [][]float64 // Rows[r][c-Lo] stores element (r, c)
+	view ColView
+	off  map[int]int // absolute column → local position; nil when contiguous
+	Rows [][]float64 // Rows[r][i] stores element (r, view.At(i))
 
 	// dirty[r] is set by every mutating RPC that lands on row r and cleared
 	// when a checkpoint snapshot is taken, so delta checkpoints skip rows
@@ -29,21 +36,68 @@ type Shard struct {
 	elemVer [][]uint64
 }
 
-func newShard(rows, lo, hi int) *Shard {
-	sh := &Shard{Lo: lo, Hi: hi, Rows: make([][]float64, rows), dirty: make([]bool, rows)}
+func newShard(rows int, v ColView) *Shard {
+	sh := &Shard{view: v, Rows: make([][]float64, rows), dirty: make([]bool, rows)}
+	if !v.Contiguous() {
+		sh.off = make(map[int]int, len(v.Cols))
+		for i, c := range v.Cols {
+			sh.off[c] = i
+		}
+	}
 	for r := range sh.Rows {
-		sh.Rows[r] = make([]float64, hi-lo)
+		sh.Rows[r] = make([]float64, v.Width())
 	}
 	return sh
 }
+
+// View returns the shard's owned-column view.
+func (sh *Shard) View() ColView { return sh.view }
+
+// Width returns the shard's column count.
+func (sh *Shard) Width() int { return sh.view.Width() }
+
+// Contiguous reports whether the shard stores a dense column range.
+func (sh *Shard) Contiguous() bool { return sh.view.Contiguous() }
+
+// ColAt returns the absolute column stored at local position i.
+func (sh *Shard) ColAt(i int) int { return sh.view.At(i) }
+
+// Local translates an absolute column index to the shard's local storage
+// position, panicking when the shard does not own the column (routing bug).
+func (sh *Shard) Local(col int) int {
+	if sh.off != nil {
+		i, ok := sh.off[col]
+		if !ok {
+			panic(fmt.Sprintf("ps: column %d not owned by shard", col))
+		}
+		return i
+	}
+	if col < sh.view.Lo || col >= sh.view.Hi {
+		panic(fmt.Sprintf("ps: column %d outside shard range [%d,%d)", col, sh.view.Lo, sh.view.Hi))
+	}
+	return col - sh.view.Lo
+}
+
+// Scatter writes local-order values into their absolute positions of a
+// full-dimension vector (full[ColAt(i)] = local[i]).
+func (sh *Shard) Scatter(local, full []float64) { sh.view.Scatter(local, full) }
+
+// Gather fills local from the shard's absolute positions of a full-dimension
+// vector (local[i] = full[ColAt(i)]).
+func (sh *Shard) Gather(local, full []float64) { sh.view.Gather(local, full) }
+
+// GatherAdd accumulates the shard's absolute positions of a full-dimension
+// vector into local (local[i] += full[ColAt(i)]).
+func (sh *Shard) GatherAdd(local, full []float64) { sh.view.GatherAdd(local, full) }
 
 // clone deep-copies a shard's data (used by checkpointing). The clone gets
 // fresh metadata: snapshots never need dirty flags or version stamps, and a
 // clone installed by recovery starts clean — it is bit-identical to the store
 // snapshot the next delta checkpoint will diff against, and the recovery
 // epoch bump fences any cache entry stamped under the old version counters.
+// The view and offset map are immutable and shared.
 func (sh *Shard) clone() *Shard {
-	c := &Shard{Lo: sh.Lo, Hi: sh.Hi, Rows: make([][]float64, len(sh.Rows)), dirty: make([]bool, len(sh.Rows))}
+	c := &Shard{view: sh.view, off: sh.off, Rows: make([][]float64, len(sh.Rows)), dirty: make([]bool, len(sh.Rows))}
 	for r := range sh.Rows {
 		c.Rows[r] = append([]float64(nil), sh.Rows[r]...)
 	}
@@ -52,7 +106,7 @@ func (sh *Shard) clone() *Shard {
 
 // bytes returns the checkpoint wire size of the shard.
 func (sh *Shard) bytes(cost cluster.CostModel) float64 {
-	return cost.DenseBytes(len(sh.Rows) * (sh.Hi - sh.Lo))
+	return cost.DenseBytes(len(sh.Rows) * sh.Width())
 }
 
 // diffCount returns how many elements differ between the live shard cur and
@@ -143,6 +197,20 @@ type Master struct {
 	// (see cache.go) — the observability the ext-cache benchmark reads.
 	Cache CacheStats
 
+	// Replica accumulates hot-column replication counters from every
+	// HotReplicaSet attached to this master's matrices (see replica.go).
+	Replica ReplicaStats
+
+	// Placement, when set, builds the placement for every subsequently
+	// created matrix (CreateMatrix consults it; CreateMatrixPlaced bypasses
+	// it). nil keeps the default contiguous range placement.
+	Placement PlacementFactory
+
+	// Load counts successful data-plane calls and their wire bytes per
+	// physical server — the per-server load view behind the imbalance gauge
+	// (see LoadReport).
+	Load []ServerLoad
+
 	// epochs[s] counts recoveries of physical server s. RecoverServer bumps
 	// it when the old machine is fenced; cache entries remember the epoch
 	// they were filled under and are discarded on mismatch (versions.go).
@@ -191,6 +259,7 @@ func NewMaster(cl *cluster.Cluster) *Master {
 		outstanding:      map[uint64]struct{}{},
 	}
 	m.epochs = make([]uint64, len(cl.Servers))
+	m.Load = make([]ServerLoad, len(cl.Servers))
 	for i, node := range cl.Servers {
 		m.servers = append(m.servers, &Server{
 			Index: i, Node: node, shards: map[int]*Shard{}, alive: true,
@@ -214,7 +283,7 @@ type Matrix struct {
 	ID   int
 	Rows int
 	Dim  int
-	Part *Partitioner
+	Part Placement
 	// Offset rotates the placement of logical shards onto physical servers:
 	// logical shard s lives on server (s+Offset) mod P. The master assigns a
 	// fresh offset to every independently created matrix (load balancing),
@@ -224,6 +293,10 @@ type Matrix struct {
 	// derived DCVs their co-location guarantee.
 	Offset int
 	master *Master
+
+	// contig caches whether every server's view is a dense range, the
+	// condition for the range operators' overlap fast path.
+	contig bool
 
 	// versioned is set by EnableVersioning (versions.go): shards then stamp
 	// changed elements so CachedClients can validate cheaply.
@@ -235,26 +308,54 @@ func (mat *Matrix) srv(s int) *Server {
 	return mat.master.servers[(s+mat.Offset)%len(mat.master.servers)]
 }
 
-// CreateMatrix allocates a rows×dim matrix across all servers. The calling
+// PlacementFactory builds the placement for a dim-column matrix over n
+// servers. Installed on Master.Placement it applies to every matrix a job
+// creates (weights and all derived state share one matrix, so co-location is
+// preserved by construction).
+type PlacementFactory func(dim, servers int) (Placement, error)
+
+// CreateMatrix allocates a rows×dim matrix across all servers, placed by the
+// master's placement factory (default: contiguous ranges). The calling
 // coordinator process pays one metadata RPC per server.
 func (m *Master) CreateMatrix(p *simnet.Proc, rows, dim int) (*Matrix, error) {
-	if rows <= 0 {
-		return nil, fmt.Errorf("ps: CreateMatrix rows must be positive, got %d", rows)
+	var pl Placement
+	var err error
+	if m.Placement != nil {
+		pl, err = m.Placement(dim, len(m.servers))
+	} else {
+		pl, err = NewPartitioner(dim, len(m.servers))
 	}
-	pt, err := NewPartitioner(dim, len(m.servers))
 	if err != nil {
 		return nil, err
 	}
+	return m.CreateMatrixPlaced(p, rows, dim, pl)
+}
+
+// CreateMatrixPlaced allocates a rows×dim matrix with an explicit placement,
+// bypassing the master's factory.
+func (m *Master) CreateMatrixPlaced(p *simnet.Proc, rows, dim int, pl Placement) (*Matrix, error) {
+	if rows <= 0 {
+		return nil, fmt.Errorf("ps: CreateMatrix rows must be positive, got %d", rows)
+	}
+	if pl == nil {
+		return nil, fmt.Errorf("ps: CreateMatrixPlaced needs a placement")
+	}
+	if pl.NumCols() != dim {
+		return nil, fmt.Errorf("ps: placement covers %d columns for dim %d", pl.NumCols(), dim)
+	}
+	if pl.NumServers() != len(m.servers) {
+		return nil, fmt.Errorf("ps: placement spans %d servers, cluster has %d", pl.NumServers(), len(m.servers))
+	}
 	m.nextID++
-	mat := &Matrix{ID: m.nextID, Rows: rows, Dim: dim, Part: pt, Offset: (m.nextID - 1) % len(m.servers), master: m}
+	mat := &Matrix{ID: m.nextID, Rows: rows, Dim: dim, Part: pl,
+		Offset: (m.nextID - 1) % len(m.servers), master: m, contig: contiguousPlacement(pl)}
 	g := p.Sim().NewGroup()
 	for s := 0; s < len(m.servers); s++ {
 		s := s
 		srv := mat.srv(s)
 		g.Go("create-shard", func(cp *simnet.Proc) {
-			lo, hi := pt.Range(s)
 			m.Cl.Driver.Send(cp, srv.Node, m.Cl.Cost.RequestOverheadB)
-			srv.shards[mat.ID] = newShard(rows, lo, hi)
+			srv.shards[mat.ID] = newShard(rows, pl.View(s))
 			srv.Node.Send(cp, m.Cl.Driver, m.Cl.Cost.RequestOverheadB)
 		})
 	}
@@ -418,8 +519,7 @@ func (m *Master) RecoverServer(p *simnet.Proc, s int) {
 				srv.shards[id] = snaps[logical].clone()
 				m.Recovery.RestoreBytes += b
 			} else {
-				lo, hi := mat.Part.Range(logical)
-				srv.shards[id] = newShard(mat.Rows, lo, hi)
+				srv.shards[id] = newShard(mat.Rows, mat.Part.View(logical))
 				m.Recovery.ZeroRestoredShards++
 			}
 			if mat.versioned {
@@ -457,6 +557,40 @@ func (m *Master) ReleaseMatrix(p *simnet.Proc, mat *Matrix) {
 	delete(m.checkpoints, mat.ID)
 }
 
+// ServerLoad counts the data-plane traffic one physical server absorbed:
+// successful CallShard requests and their total wire bytes (request plus
+// response). CallShard increments it on delivery, so retries against a dead
+// machine don't inflate the numbers.
+type ServerLoad struct {
+	Ops   uint64
+	Bytes float64
+}
+
+// LoadImbalance returns max/mean over the given per-server values — 1.0 is
+// perfectly balanced, S means one server absorbs everything. Servers that
+// saw no traffic still count toward the mean (they are idle capacity).
+func LoadImbalance(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum, maxV float64
+	for _, x := range xs {
+		sum += x
+		if x > maxV {
+			maxV = x
+		}
+	}
+	if sum == 0 {
+		return 0
+	}
+	return maxV / (sum / float64(len(xs)))
+}
+
+// LoadReport returns a copy of the per-server load counters.
+func (m *Master) LoadReport() []ServerLoad {
+	return append([]ServerLoad(nil), m.Load...)
+}
+
 // ServerStats summarizes one server's storage load.
 type ServerStats struct {
 	Server    int
@@ -481,7 +615,7 @@ func (m *Master) Stats() []ServerStats {
 		}
 		for _, sh := range srv.shards {
 			st.Shards++
-			st.Elements += int64(len(sh.Rows) * (sh.Hi - sh.Lo))
+			st.Elements += int64(len(sh.Rows) * sh.Width())
 		}
 		st.Bytes = float64(st.Elements) * 8
 		out[i] = st

@@ -30,7 +30,7 @@ func (sh *Shard) enableVersions() {
 	sh.rowVer = make([]uint64, len(sh.Rows))
 	sh.elemVer = make([][]uint64, len(sh.Rows))
 	for r := range sh.elemVer {
-		sh.elemVer[r] = make([]uint64, sh.Hi-sh.Lo)
+		sh.elemVer[r] = make([]uint64, sh.Width())
 	}
 }
 
@@ -49,12 +49,12 @@ func (sh *Shard) RowVer(r int) uint64 {
 }
 
 // ElemVer returns the version of the last change to element (r, col), with
-// col an absolute column index inside [Lo, Hi).
+// col an absolute column index the shard owns.
 func (sh *Shard) ElemVer(r, col int) uint64 {
 	if sh.elemVer == nil {
 		return 0
 	}
-	return sh.elemVer[r][col-sh.Lo]
+	return sh.elemVer[r][sh.Local(col)]
 }
 
 // preMutate snapshots the declared rows' values so commitMutate can stamp

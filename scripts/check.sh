@@ -8,6 +8,15 @@ cd "$(dirname "$0")/.."
 go vet ./...
 go build ./...
 
+# Static analysis beyond vet. staticcheck is not vendored and must not be
+# auto-installed here (offline/sandboxed runs); CI installs a pinned
+# version, so a local machine without it just skips with a notice.
+if command -v staticcheck >/dev/null 2>&1; then
+	staticcheck ./...
+else
+	echo "staticcheck not found; skipping (CI runs it pinned)" >&2
+fi
+
 # Observability cost gate, run by name so a regression fails loudly on its
 # own line: the disabled tracer must allocate nothing on the nil fast path,
 # and an untraced fixed workload must not drift >2% from the committed
