@@ -6,7 +6,7 @@ check:
 	./scripts/check.sh
 
 test:
-	go test ./...
+	go test -race ./...
 
 bench:
 	go test -run XXX -bench . -benchtime 1x ./...

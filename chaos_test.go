@@ -6,12 +6,15 @@
 package ps2
 
 import (
+	"errors"
 	"math"
 	"testing"
 
 	"repro/internal/data"
+	"repro/internal/linalg"
 	"repro/internal/ml/embedding"
 	"repro/internal/ml/lr"
+	"repro/internal/ps"
 	"repro/internal/rdd"
 )
 
@@ -124,6 +127,175 @@ func TestChaosSoakLogisticRegression(t *testing.T) {
 	}
 	if engine.Sim.Chaos().MessagesLost == 0 {
 		t.Fatal("message loss enabled but nothing was ever dropped")
+	}
+}
+
+// elasticChaosResult is one elastic-migration soak run's observations.
+type elasticChaosResult struct {
+	migStart, migEnd float64
+	attempts         int // failed MigrateMatrix calls before success
+	aborted          int // of those, mid-protocol rollbacks
+	rows             [][]float64
+	settled          bool
+	engine           *Engine
+}
+
+// runElasticChaos drives a 4→8 scale-out migration with a concurrent pusher
+// under the given fault plan. Pushed columns all live on server 0 under both
+// placements, so a crash of any OTHER server can never destroy acknowledged
+// push state — which makes exact value equality a sound oracle even with
+// mid-migration crashes in the plan. The migration itself still moves every
+// column (three quarters of them across machines).
+func runElasticChaos(t *testing.T, servers int, faults *FaultPlan) elasticChaosResult {
+	t.Helper()
+	const dim, rows, pushes = 20000, 2, 60
+	opt := DefaultOptions()
+	opt.Executors, opt.Servers = 8, servers
+	opt.Faults = faults
+	tuneFaultTimescales(&opt)
+	engine := NewEngine(opt)
+	res := elasticChaosResult{engine: engine}
+	engine.Run(func(p *Proc) {
+		m := engine.PS
+		start, err := ps.NewRangePlacement(dim, min(4, servers))
+		if err != nil {
+			panic(err)
+		}
+		mat, err := m.CreateMatrixPlaced(p, rows, dim, start)
+		if err != nil {
+			panic(err)
+		}
+		worker := engine.Cluster.Executors[0]
+		init := make([]float64, dim)
+		for c := range init {
+			init[c] = math.Sin(float64(c)) // every column nonzero: copies must carry it
+		}
+		for r := 0; r < rows; r++ {
+			mat.SetRow(p, worker, r, init)
+		}
+		m.Checkpoint(p, mat)
+		g := p.Sim().NewGroup()
+		g.Go("pusher", func(cp *Proc) {
+			for i := 0; i < pushes; i++ {
+				cp.Sleep(0.0001)
+				sv, err := linalg.NewSparse([]int{i, i*17 + 5}, []float64{1, 0.5})
+				if err != nil {
+					panic(err)
+				}
+				mat.PushAdd(cp, engine.Cluster.Executors[1], 0, sv)
+			}
+		})
+		if servers >= 8 {
+			g.Go("migrator", func(cp *Proc) {
+				cp.Sleep(0.002)
+				res.migStart = float64(cp.Now())
+				target, err := ps.NewRangePlacement(dim, 8)
+				if err != nil {
+					panic(err)
+				}
+				for {
+					err := m.MigrateMatrix(cp, mat, target, mat.Part.Fingerprint())
+					if err == nil {
+						break
+					}
+					res.attempts++
+					switch {
+					case errors.Is(err, ErrMigrationAborted):
+						res.aborted++
+					case errors.Is(err, ErrServerDown):
+						// Endpoint still dead: wait for the detector to heal it.
+					default:
+						t.Errorf("migration failed non-retryably: %v", err)
+						return
+					}
+					cp.Sleep(0.05)
+				}
+				res.migEnd = float64(cp.Now())
+			})
+		}
+		g.Wait(p)
+		res.rows = make([][]float64, rows)
+		for r := 0; r < rows; r++ {
+			res.rows[r] = mat.PullRow(p, engine.Driver(), r)
+		}
+		res.settled = m.DedupSettled()
+	})
+	return res
+}
+
+// TestChaosElasticMigrationExactlyOnce crashes a migration SOURCE and a
+// migration DESTINATION mid-transfer — with ambient message loss plus
+// targeted drop/delay on two migration stream routes — and asserts the
+// system converges to exactly the single-server oracle: the migration aborts
+// and rolls back without double-applying anything, the detector heals the
+// endpoints, the retry completes, and no push is lost or applied twice
+// (dedup watermark settled, values bit-identical).
+func TestChaosElasticMigrationExactlyOnce(t *testing.T) {
+	// Single-server oracle: same logical schedule, no faults, no migration —
+	// trivially exact values.
+	oracle := runElasticChaos(t, 1, nil)
+
+	// Calibration: same topology and ambient loss as the chaos run but no
+	// crashes (the one scheduled action sits far past the end so the chaos
+	// controller exists in both runs). The timeline is identical to the chaos
+	// run's up to the first real fault, so crash times picked inside its
+	// migration window are guaranteed to land mid-protocol.
+	calib := runElasticChaos(t, 8, &FaultPlan{
+		LossProb:      0.02,
+		ServerCrashes: []CrashEvent{{AtSec: 1e9, Index: 0}},
+	})
+	if calib.aborted != 0 {
+		t.Fatalf("calibration run aborted %d times without crashes", calib.aborted)
+	}
+	window := calib.migEnd - calib.migStart
+	if window <= 0 {
+		t.Fatalf("calibration migration window empty: [%v, %v]", calib.migStart, calib.migEnd)
+	}
+
+	// Chaos run. Server 1 is a bulk-copy SOURCE (owns columns under both
+	// placements), server 6 a DESTINATION-only machine; the faulted links
+	// 2→4 and 3→7 carry exclusively migration streams. Faults degrade but
+	// never destroy pushed state: all pushed columns live on server 0.
+	chaos := runElasticChaos(t, 8, &FaultPlan{
+		LossProb: 0.02,
+		ServerCrashes: []CrashEvent{
+			{AtSec: calib.migStart + 0.25*window, Index: 1},
+			{AtSec: calib.migStart + 0.75*window, Index: 6},
+		},
+		LinkFaults: []LinkFault{
+			{AtSec: calib.migStart, Src: 2, Dst: 4, LossProb: 0.5, DelaySec: 0.0002},
+			{AtSec: calib.migStart, Src: 3, Dst: 7, LossProb: 0.5},
+		},
+	})
+
+	if chaos.aborted < 1 {
+		t.Fatalf("no migration abort: crashes missed the protocol (attempts=%d window=%v)",
+			chaos.attempts, window)
+	}
+	if !chaos.settled {
+		t.Fatal("dedup watermark did not settle: some push never fully acknowledged")
+	}
+	for r := range oracle.rows {
+		for c := range oracle.rows[r] {
+			if chaos.rows[r][c] != oracle.rows[r][c] {
+				t.Fatalf("row %d col %d = %v, oracle %v: push lost or double-applied across migration",
+					r, c, chaos.rows[r][c], oracle.rows[r][c])
+			}
+		}
+	}
+	snap := chaos.engine.Snapshot()
+	if snap.Migration.Migrations != 1 {
+		t.Fatalf("Migrations = %d, want exactly 1", snap.Migration.Migrations)
+	}
+	if snap.Migration.Aborts != chaos.aborted || snap.Migration.BulkBytes <= 0 {
+		t.Fatalf("migration accounting off: %+v vs %d observed aborts", snap.Migration, chaos.aborted)
+	}
+	if snap.Recovery.Detections < 2 || snap.Recovery.Recoveries < 2 {
+		t.Fatalf("detections/recoveries = %d/%d, want >= 2 each (both crashed endpoints healed)",
+			snap.Recovery.Detections, snap.Recovery.Recoveries)
+	}
+	if chaos.engine.Sim.Chaos().MessagesLost == 0 {
+		t.Fatal("loss enabled but nothing dropped")
 	}
 }
 

@@ -11,6 +11,7 @@ package main
 
 import (
 	"encoding/csv"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -30,6 +31,7 @@ func main() {
 		list      = flag.Bool("list", false, "list experiment ids")
 		quick     = flag.Bool("quick", false, "reduced scale for a fast pass")
 		csvDir    = flag.String("csv", "", "also write each result as CSV into this directory")
+		jsonFile  = flag.String("json", "", "write the result tables as one JSON document to this file (host-time free, so reruns diff cleanly)")
 		traceFile = flag.String("trace", "", "arm the span tracer and write a Chrome/Perfetto trace to this file (plus a .phases.txt sidecar)")
 	)
 	flag.Parse()
@@ -63,6 +65,44 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *jsonFile != "" {
+		if err := writeJSON(*jsonFile, opts, results); err != nil {
+			fmt.Fprintf(os.Stderr, "ps2bench: json: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeJSON snapshots the result tables as one JSON document. Only virtual
+// observations go in — no host times or dates — so a rerun on the same code
+// produces a byte-identical file and `git diff` shows real regressions.
+func writeJSON(path string, o bench.Opts, results []*bench.Result) error {
+	type jsonResult struct {
+		ID     string     `json:"id"`
+		Title  string     `json:"title"`
+		Header []string   `json:"header"`
+		Rows   [][]string `json:"rows"`
+		Notes  []string   `json:"notes,omitempty"`
+	}
+	doc := struct {
+		Quick   bool         `json:"quick"`
+		Results []jsonResult `json:"results"`
+	}{Quick: o.Quick}
+	for _, res := range results {
+		doc.Results = append(doc.Results, jsonResult{
+			ID: res.ID, Title: res.Title, Header: res.Header,
+			Rows: res.Rows, Notes: res.Notes,
+		})
+	}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d results)\n", path, len(doc.Results))
+	return nil
 }
 
 func runOne(e bench.Experiment, o bench.Opts, csvDir string) *bench.Result {

@@ -1,0 +1,61 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestExtElasticShape pins the elastic-membership acceptance bars: live
+// rebalancing must beat every static placement on the drifting-Zipf
+// workload, 4→8 scale-out must cut completion time against every static
+// 4-server arm, and every arm — static or migrating — must finish with the
+// final row bit-identical to the access-count oracle (no lost or
+// double-applied push across migrations).
+func TestExtElasticShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape checks run full experiments")
+	}
+	w, arms := runElasticArms(Opts{Quick: true})
+	want := w.oracle()
+	byName := map[string]elasticArmResult{}
+	for _, a := range arms {
+		byName[a.Name] = a
+		if len(a.Final) != len(want) {
+			t.Fatalf("%s: final row has %d cols, oracle %d", a.Name, len(a.Final), len(want))
+		}
+		for c := range want {
+			if a.Final[c] != want[c] {
+				t.Fatalf("%s: col %d = %v, oracle %v (pushes lost or double-applied)",
+					a.Name, c, a.Final[c], want[c])
+			}
+		}
+		if strings.HasPrefix(a.Name, "static") {
+			if a.Migrations != 0 || a.MovedMB != 0 {
+				t.Fatalf("%s: static arm migrated (%d migrations, %.3f MB)",
+					a.Name, a.Migrations, a.MovedMB)
+			}
+		} else {
+			if a.Migrations != w.Phases-1 {
+				t.Fatalf("%s: %d migrations, want one per boundary (%d)",
+					a.Name, a.Migrations, w.Phases-1)
+			}
+			if a.Aborts != 0 {
+				t.Fatalf("%s: %d aborted migrations in a fault-free run", a.Name, a.Aborts)
+			}
+			if a.MovedMB <= 0 {
+				t.Fatalf("%s: migrations moved no bytes", a.Name)
+			}
+		}
+	}
+
+	reb, out := byName["rebalance ×4"], byName["elastic 4→8"]
+	for _, static := range []string{"static range ×4", "static blockhash ×4", "static loadaware ×4"} {
+		s := byName[static]
+		if reb.EndSec >= s.EndSec {
+			t.Errorf("rebalance ×4 (%.4fs) does not beat %s (%.4fs)", reb.EndSec, static, s.EndSec)
+		}
+		if out.EndSec >= s.EndSec {
+			t.Errorf("elastic 4→8 (%.4fs) does not beat %s (%.4fs)", out.EndSec, static, s.EndSec)
+		}
+	}
+}

@@ -83,6 +83,11 @@ type Cluster struct {
 	Store *simnet.Node
 	Cost  CostModel
 
+	// Retired holds server machines decommissioned by RetireServers. They are
+	// off the routing path but their traffic counters still count toward
+	// TotalBytesOnWire (the bytes were spent).
+	Retired []*simnet.Node
+
 	nodeCfg  simnet.NodeConfig // template, so replacements match the fleet
 	nextID   int
 	replaced map[int]int // server index -> replacement generation
@@ -135,6 +140,29 @@ func (c *Cluster) ReplaceServer(i int) *simnet.Node {
 	return n
 }
 
+// AddServer provisions one new server machine from the fleet template and
+// appends it to the server list, returning the node. The elastic-membership
+// protocol (ps.Master.AddServers) drives this mid-run.
+func (c *Cluster) AddServer() *simnet.Node {
+	nc := c.nodeCfg
+	nc.Name = fmt.Sprintf("server-%d", len(c.Servers))
+	n := c.Sim.NewNode(c.nextID, nc)
+	c.nextID++
+	c.Servers = append(c.Servers, n)
+	return n
+}
+
+// RetireServers decommissions the last n server machines, moving them to the
+// Retired list so their traffic history stays visible to accounting.
+func (c *Cluster) RetireServers(n int) {
+	if n <= 0 || n > len(c.Servers) {
+		panic(fmt.Sprintf("cluster: RetireServers(%d) with %d servers", n, len(c.Servers)))
+	}
+	cut := len(c.Servers) - n
+	c.Retired = append(c.Retired, c.Servers[cut:]...)
+	c.Servers = c.Servers[:cut]
+}
+
 // TotalBytesOnWire sums virtual bytes sent by every machine, a convenient
 // communication-volume metric for ablation benchmarks.
 func (c *Cluster) TotalBytesOnWire() float64 {
@@ -143,6 +171,9 @@ func (c *Cluster) TotalBytesOnWire() float64 {
 		total += n.BytesSent
 	}
 	for _, n := range c.Servers {
+		total += n.BytesSent
+	}
+	for _, n := range c.Retired {
 		total += n.BytesSent
 	}
 	return total

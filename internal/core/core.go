@@ -82,6 +82,22 @@ type FaultPlan struct {
 
 	ServerCrashes   []CrashEvent
 	ExecutorCrashes []CrashEvent
+
+	// LinkFaults schedules per-link chaos overrides (targeted loss/delay on
+	// server↔server routes — e.g. the stream path of an elastic migration).
+	LinkFaults []LinkFault
+}
+
+// LinkFault schedules a per-link chaos override: from AtSec on, messages from
+// server Src to server Dst are dropped with probability LossProb and delayed
+// by up to DelaySec extra. Src/Dst are server-role indices, resolved to
+// machines when the fault fires — so links to servers that join via elastic
+// scale-out after the plan was written can still be targeted.
+type LinkFault struct {
+	AtSec    float64
+	Src, Dst int
+	LossProb float64
+	DelaySec float64
 }
 
 // DefaultOptions mirrors the paper's common setup: 20 executors, 20 servers.
@@ -182,6 +198,24 @@ func (e *Engine) Run(job func(p *simnet.Proc)) simnet.Time {
 				Do:   func() { e.RDD.CrashExecutor(ev.Index) },
 			})
 		}
+		for _, lf := range e.faults.LinkFaults {
+			lf := lf
+			plan.Actions = append(plan.Actions, simnet.FaultAction{
+				At:   lf.AtSec,
+				Name: fmt.Sprintf("link-fault-%d-%d", lf.Src, lf.Dst),
+				Do: func() {
+					c := e.Sim.Chaos()
+					srvs := e.Cluster.Servers
+					if c == nil || lf.Src >= len(srvs) || lf.Dst >= len(srvs) {
+						return
+					}
+					c.SetLinkLoss(srvs[lf.Src].ID, srvs[lf.Dst].ID, lf.LossProb)
+					if lf.DelaySec > 0 {
+						c.SetLinkDelay(srvs[lf.Src].ID, srvs[lf.Dst].ID, simnet.Time(lf.DelaySec))
+					}
+				},
+			})
+		}
 		e.Sim.StartFaultPlan(plan, stop)
 	}
 	if e.monitor {
@@ -229,6 +263,15 @@ func (e *Engine) Snapshot() obs.Snapshot {
 			Batches:  e.PS.Net.Batches,
 			FusedOps: e.PS.Net.FusedOps,
 		},
+		Migration: obs.MigrationSnapshot{
+			Migrations:     e.PS.Migration.Migrations,
+			Aborts:         e.PS.Migration.Aborts,
+			ServersAdded:   e.PS.Migration.ServersAdded,
+			ServersRemoved: e.PS.Migration.ServersRemoved,
+			BulkBytes:      e.PS.Migration.BulkBytes,
+			DeltaBytes:     e.PS.Migration.DeltaBytes,
+			GateClosedSec:  e.PS.Migration.GateClosedSec,
+		},
 		Cache: obs.CacheSnapshot{
 			Hits:           e.PS.Cache.Hits,
 			Misses:         e.PS.Cache.Misses,
@@ -260,6 +303,12 @@ func (e *Engine) Snapshot() obs.Snapshot {
 		s.Phases.ExecutorCoreSec += n.WorkDone / n.WorkRate()
 	}
 	for _, n := range e.Cluster.Servers {
+		s.Net.ServerSentMB += n.BytesSent / mb
+		s.Net.ServerRecvMB += n.BytesRecv / mb
+		s.Phases.ServerCoreSec += n.WorkDone / n.WorkRate()
+	}
+	for _, n := range e.Cluster.Retired {
+		// Servers scaled in mid-run still did work while they were members.
 		s.Net.ServerSentMB += n.BytesSent / mb
 		s.Net.ServerRecvMB += n.BytesRecv / mb
 		s.Phases.ServerCoreSec += n.WorkDone / n.WorkRate()

@@ -73,6 +73,10 @@ func (v *Vector) zipInvoke(p *simnet.Proc, from *simnet.Node, others []*Vector,
 				i, ov.mat.Part.Fingerprint(), v.mat.Part.Fingerprint(), ErrPartitionMismatch)
 		}
 	}
+	// Register with the matrix's route gate so an elastic migration cutover
+	// cannot swap the placement while shard fan-out is in flight.
+	v.mat.BeginOp(p)
+	defer v.mat.EndOp()
 	cost := v.sess.Master.Cl.Cost
 	errs := make([]error, v.mat.Part.NumServers())
 	g := p.Sim().NewGroup()

@@ -16,12 +16,34 @@ type Snapshot struct {
 	WallSec float64 // virtual time at which the job finished
 	Events  uint64  // simulation events processed
 
-	Net      NetSnapshot
-	Recovery RecoverySnapshot
-	Fusion   FusionSnapshot
-	Cache    CacheSnapshot
-	Load     LoadSnapshot
-	Phases   PhaseSnapshot
+	Net       NetSnapshot
+	Recovery  RecoverySnapshot
+	Fusion    FusionSnapshot
+	Cache     CacheSnapshot
+	Load      LoadSnapshot
+	Migration MigrationSnapshot
+	Phases    PhaseSnapshot
+}
+
+// MigrationSnapshot is the elastic-membership view: completed and aborted
+// placement migrations, membership churn, the bytes the shard moves cost and
+// how long the route gate stayed closed. All fields are zero for static runs.
+type MigrationSnapshot struct {
+	Migrations     int
+	Aborts         int
+	ServersAdded   int
+	ServersRemoved int
+	BulkBytes      float64 // streamed while training continued (gate open)
+	DeltaBytes     float64 // shipped during cutovers (gate closed)
+	GateClosedSec  float64 // total virtual time operators were fenced
+}
+
+// MovedMB returns all bytes migrations moved, in MB.
+func (m MigrationSnapshot) MovedMB() float64 { return (m.BulkBytes + m.DeltaBytes) / 1e6 }
+
+// Active reports whether any membership change or migration happened.
+func (m MigrationSnapshot) Active() bool {
+	return m.Migrations+m.Aborts+m.ServersAdded+m.ServersRemoved > 0
 }
 
 // LoadSnapshot is the placement view: how evenly request traffic spread over
@@ -233,6 +255,13 @@ func (s Snapshot) String() string {
 		fmt.Fprintf(&b, "load: %d servers, imbalance %.2fx ops / %.2fx bytes (max/mean)\n",
 			len(s.Load.Ops), s.Load.OpsImbalance(), s.Load.BytesImbalance())
 	}
+	if s.Migration.Active() {
+		fmt.Fprintf(&b, "elastic: %d migrations (%d aborted), +%d/-%d servers, %.1f MB moved (%.1f bulk + %.1f delta), gate closed %.3fs\n",
+			s.Migration.Migrations, s.Migration.Aborts,
+			s.Migration.ServersAdded, s.Migration.ServersRemoved,
+			s.Migration.MovedMB(), s.Migration.BulkBytes/1e6, s.Migration.DeltaBytes/1e6,
+			s.Migration.GateClosedSec)
+	}
 	if s.Recovery.ServerCrashes > 0 || s.Recovery.Recoveries > 0 {
 		fmt.Fprintf(&b, "recovery: %d crashes, %d detected (mean %.2fs), %d recovered (mean %.2fs), %.1f MB restored\n",
 			s.Recovery.ServerCrashes, s.Recovery.Detections, s.Recovery.MeanDetectLatency(),
@@ -285,6 +314,14 @@ func (s Snapshot) Fill(r *Registry) {
 		r.Set(node, "load", "ops", s.Load.Ops[i])
 		r.Set(node, "load", "bytes", s.Load.Bytes[i])
 	}
+
+	r.Set("", "migration", "migrations", float64(s.Migration.Migrations))
+	r.Set("", "migration", "aborts", float64(s.Migration.Aborts))
+	r.Set("", "migration", "servers.added", float64(s.Migration.ServersAdded))
+	r.Set("", "migration", "servers.removed", float64(s.Migration.ServersRemoved))
+	r.Set("", "migration", "bulk.bytes", s.Migration.BulkBytes)
+	r.Set("", "migration", "delta.bytes", s.Migration.DeltaBytes)
+	r.Set("", "migration", "gate.closed.sec", s.Migration.GateClosedSec)
 
 	r.Set("", "recovery", "crashes", float64(s.Recovery.ServerCrashes))
 	r.Set("", "recovery", "detections", float64(s.Recovery.Detections))

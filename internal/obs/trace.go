@@ -44,6 +44,12 @@ const (
 	KMsgLost   // chaos dropped a message
 	KFault     // fault-plan action fired
 	KMark      // free-form annotation
+
+	// Span kinds appended after the original set (numeric values of earlier
+	// kinds must not shift — committed golden traces encode them).
+	KMigration     // one elastic placement migration, bulk copy through swap
+	KMigrateStream // one source→target shard transfer inside a migration
+	KCutover       // migration cutover: gate closed, deltas shipped, routing swapped
 )
 
 var kindNames = [...]string{
@@ -54,6 +60,8 @@ var kindNames = [...]string{
 	KRestore: "ps.restore", KDetectWin: "ps.detect-window",
 	KDetect: "ps.detect", KDedupHit: "ps.dedup-hit", KTaskRetry: "rdd.retry",
 	KMsgLost: "net.lost", KFault: "chaos.fault", KMark: "mark",
+	KMigration: "ps.migration", KMigrateStream: "ps.migrate-stream",
+	KCutover: "ps.cutover",
 }
 
 func (k Kind) String() string {
@@ -86,9 +94,11 @@ func (k Kind) Phase() Phase {
 		return PhaseWait
 	case KServerOp, KFusedBatch:
 		return PhaseCompute
-	case KCheckpoint, KRecovery, KFence, KRestore, KDetectWin:
+	case KCheckpoint, KRecovery, KFence, KRestore, KDetectWin, KCutover:
 		return PhaseRecovery
 	}
+	// KMigration and KMigrateStream are containers: their time overlaps the
+	// net.send and cutover spans nested inside them.
 	return PhaseOther
 }
 

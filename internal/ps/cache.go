@@ -290,6 +290,8 @@ func (cc *CachedClient) TryPullRowIndices(p *simnet.Proc, from *simnet.Node, row
 	if err := validateIndices(indices, mat.Dim); err != nil {
 		return nil, err
 	}
+	mat.enterOp(p)
+	defer mat.exitOp()
 	nc := cc.node(from)
 	out := make([]float64, len(indices))
 	split := mat.Part.SplitIndices(indices)
@@ -451,6 +453,8 @@ func (cc *CachedClient) TryPullRows(p *simnet.Proc, from *simnet.Node, rows []in
 	for _, r := range rows {
 		mat.checkRow(r)
 	}
+	mat.enterOp(p)
+	defer mat.exitOp()
 	nc := cc.node(from)
 	out := make([][]float64, len(rows))
 	for i := range out {

@@ -72,6 +72,8 @@ func (mat *Matrix) PullRow(p *simnet.Proc, from *simnet.Node, row int) []float64
 // shard stays unreachable.
 func (mat *Matrix) TryPullRow(p *simnet.Proc, from *simnet.Node, row int) ([]float64, error) {
 	mat.checkRow(row)
+	mat.enterOp(p)
+	defer mat.exitOp()
 	cost := mat.master.Cl.Cost
 	out := make([]float64, mat.Dim)
 	errs := make([]error, mat.Part.NumServers())
@@ -110,6 +112,8 @@ func (mat *Matrix) PullRowCompressed(p *simnet.Proc, from *simnet.Node, row int)
 // of panicking when a shard stays unreachable.
 func (mat *Matrix) TryPullRowCompressed(p *simnet.Proc, from *simnet.Node, row int) ([]float64, error) {
 	mat.checkRow(row)
+	mat.enterOp(p)
+	defer mat.exitOp()
 	cost := mat.master.Cl.Cost
 	out := make([]float64, mat.Dim)
 	errs := make([]error, mat.Part.NumServers())
@@ -164,6 +168,18 @@ func (mat *Matrix) TryPullRowIndices(p *simnet.Proc, from *simnet.Node, row int,
 	if err := validateIndices(indices, mat.Dim); err != nil {
 		return nil, err
 	}
+	mat.enterOp(p)
+	defer mat.exitOp()
+	return mat.pullRowIndices(p, from, row, indices)
+}
+
+// pullRowIndices is the ungated core of TryPullRowIndices: validation and
+// gate registration already done by the caller. The HotReplicaSet's cold path
+// calls it from a child of an operator that already holds the gate — going
+// through the gated wrapper there would deadlock a migration cutover (the
+// parent can't drain until the child finishes, the child can't enter while
+// the gate is closing).
+func (mat *Matrix) pullRowIndices(p *simnet.Proc, from *simnet.Node, row int, indices []int) ([]float64, error) {
 	cost := mat.master.Cl.Cost
 	out := make([]float64, len(indices))
 	split := mat.Part.SplitIndices(indices)
@@ -216,6 +232,8 @@ func (mat *Matrix) TryPushAdd(p *simnet.Proc, from *simnet.Node, row int, delta 
 	if err := validateIndices(delta.Indices, mat.Dim); err != nil {
 		return err
 	}
+	mat.enterOp(p)
+	defer mat.exitOp()
 	cost := mat.master.Cl.Cost
 	split := mat.Part.SplitIndices(delta.Indices)
 	errs := make([]error, mat.Part.NumServers())
@@ -266,6 +284,8 @@ func (mat *Matrix) TryPushAddDense(p *simnet.Proc, from *simnet.Node, row int, d
 	if len(delta) != mat.Dim {
 		panic(fmt.Sprintf("ps: PushAddDense got %d values for dim %d", len(delta), mat.Dim))
 	}
+	mat.enterOp(p)
+	defer mat.exitOp()
 	cost := mat.master.Cl.Cost
 	errs := make([]error, mat.Part.NumServers())
 	g := p.Sim().NewGroup()
@@ -305,6 +325,8 @@ func (mat *Matrix) TrySetRow(p *simnet.Proc, from *simnet.Node, row int, values 
 	if len(values) != mat.Dim {
 		panic(fmt.Sprintf("ps: SetRow got %d values for dim %d", len(values), mat.Dim))
 	}
+	mat.enterOp(p)
+	defer mat.exitOp()
 	cost := mat.master.Cl.Cost
 	errs := make([]error, mat.Part.NumServers())
 	g := p.Sim().NewGroup()
@@ -348,6 +370,8 @@ func (mat *Matrix) TryPullRowRange(p *simnet.Proc, from *simnet.Node, row, lo, h
 	if lo < 0 || hi > mat.Dim || lo > hi {
 		panic(fmt.Sprintf("ps: PullRowRange [%d,%d) out of [0,%d)", lo, hi, mat.Dim))
 	}
+	mat.enterOp(p)
+	defer mat.exitOp()
 	cost := mat.master.Cl.Cost
 	out := make([]float64, hi-lo)
 	errs := make([]error, mat.Part.NumServers())
@@ -397,6 +421,8 @@ func (mat *Matrix) TrySetRowRange(p *simnet.Proc, from *simnet.Node, row, lo, hi
 	if len(values) != hi-lo || lo < 0 || hi > mat.Dim || lo > hi {
 		panic(fmt.Sprintf("ps: SetRowRange got %d values for [%d,%d) of dim %d", len(values), lo, hi, mat.Dim))
 	}
+	mat.enterOp(p)
+	defer mat.exitOp()
 	cost := mat.master.Cl.Cost
 	errs := make([]error, mat.Part.NumServers())
 	g := p.Sim().NewGroup()
@@ -450,6 +476,8 @@ func (mat *Matrix) TryPullRows(p *simnet.Proc, from *simnet.Node, rows []int) ([
 	for _, r := range rows {
 		mat.checkRow(r)
 	}
+	mat.enterOp(p)
+	defer mat.exitOp()
 	cost := mat.master.Cl.Cost
 	out := make([][]float64, len(rows))
 	for i := range out {
@@ -498,6 +526,8 @@ func (mat *Matrix) TryPushRowsDelta(p *simnet.Proc, from *simnet.Node, rows []in
 			panic(fmt.Sprintf("ps: PushRowsDelta delta %d has %d values for dim %d", i, len(deltas[i]), mat.Dim))
 		}
 	}
+	mat.enterOp(p)
+	defer mat.exitOp()
 	cost := mat.master.Cl.Cost
 	errs := make([]error, mat.Part.NumServers())
 	g := p.Sim().NewGroup()
@@ -571,6 +601,8 @@ func (mat *Matrix) TryInvokeRead(p *simnet.Proc, from *simnet.Node, reqBytes, re
 
 func (mat *Matrix) invoke(p *simnet.Proc, from *simnet.Node, reqBytes, respBytes float64,
 	work func(width int) float64, fn func(s int, sh *Shard) float64, mutates bool) ([]float64, error) {
+	mat.enterOp(p)
+	defer mat.exitOp()
 	cost := mat.master.Cl.Cost
 	partials := make([]float64, mat.Part.NumServers())
 	errs := make([]error, mat.Part.NumServers())
@@ -631,6 +663,8 @@ type InvokeOp struct {
 // ops run atomically with respect to retries. A program of pure reads skips
 // dedup tracking entirely.
 func (mat *Matrix) TryInvokeFused(p *simnet.Proc, from *simnet.Node, ops []InvokeOp) ([][]float64, error) {
+	mat.enterOp(p)
+	defer mat.exitOp()
 	cost := mat.master.Cl.Cost
 	reqBytes, respBytes := cost.RequestOverheadB, cost.RequestOverheadB
 	mutates := false

@@ -147,6 +147,8 @@ func (b *PushBuffer) TryFlush(p *simnet.Proc, from *simnet.Node) error {
 	if len(b.sparse) == 0 && len(b.dense) == 0 {
 		return nil
 	}
+	b.mat.enterOp(p)
+	defer b.mat.exitOp()
 	m := b.mat.master
 	cost := m.Cl.Cost
 	// Snapshot and reset: Adds during the flush start the next batch.

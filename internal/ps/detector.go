@@ -102,6 +102,13 @@ func (m *Master) StartMonitor(cfg DetectorConfig) {
 			if stop.Fired() {
 				return
 			}
+			if len(missed) != len(m.servers) {
+				// Elastic membership resized the cluster mid-run: keep the
+				// surviving counters, start fresh ones at zero.
+				nm := make([]int, len(m.servers))
+				copy(nm, missed)
+				missed = nm
+			}
 			ok := make([]bool, len(m.servers))
 			g := p.Sim().NewGroup()
 			for i, srv := range m.servers {

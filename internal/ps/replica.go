@@ -166,6 +166,9 @@ func (rs *HotReplicaSet) TryPullRowIndices(p *simnet.Proc, from *simnet.Node, ro
 	if err := validateIndices(indices, mat.Dim); err != nil {
 		return nil, err
 	}
+	mat.enterOp(p)
+	defer mat.exitOp()
+	rs.resync()
 	out := make([]float64, len(indices))
 	var hotCols, hotPos, coldCols, coldPos []int
 	for k, col := range indices {
@@ -181,7 +184,9 @@ func (rs *HotReplicaSet) TryPullRowIndices(p *simnet.Proc, from *simnet.Node, ro
 	g := p.Sim().NewGroup()
 	if len(coldCols) > 0 {
 		g.Go("replica-cold", func(cp *simnet.Proc) {
-			vals, err := mat.TryPullRowIndices(cp, from, row, coldCols)
+			// The ungated core: this child runs under the gate the parent
+			// already holds, so the gated wrapper would deadlock a cutover.
+			vals, err := mat.pullRowIndices(cp, from, row, coldCols)
 			if err != nil {
 				errCold = err
 				return
@@ -212,6 +217,25 @@ func (rs *HotReplicaSet) TryPullRowIndices(p *simnet.Proc, from *simnet.Node, ro
 		return nil, errHot
 	}
 	return out, errCold
+}
+
+// resync rebuilds the per-server replica stores after an elastic membership
+// change resized the placement: store state is keyed by logical shard, so a
+// different server count means every store's contents may alias the wrong
+// owner. Stores for a same-width placement swap are instead fenced lazily by
+// the gen-mixed ShardEpoch check in serveHot. Called under the matrix gate,
+// so the placement cannot change mid-rebuild.
+func (rs *HotReplicaSet) resync() {
+	p := rs.mat.Part.NumServers()
+	if len(rs.stores) == p {
+		return
+	}
+	rs.stores = make([]*replicaStore, p)
+	for s := range rs.stores {
+		rs.stores[s] = &replicaStore{epoch: rs.mat.ShardEpoch(s), vals: map[repKey]*repVal{}}
+	}
+	rs.mat.master.Replica.EpochFences++
+	rs.rr %= p
 }
 
 // pullHot serves one row's hot columns from serving shard t's replica store,

@@ -201,6 +201,10 @@ type Master struct {
 	// HotReplicaSet attached to this master's matrices (see replica.go).
 	Replica ReplicaStats
 
+	// Migration accumulates the elastic-membership subsystem's counters
+	// (see migrate.go) — the observability the ext-elastic benchmark reads.
+	Migration MigrationStats
+
 	// Placement, when set, builds the placement for every subsequently
 	// created matrix (CreateMatrix consults it; CreateMatrixPlaced bypasses
 	// it). nil keeps the default contiguous range placement.
@@ -301,11 +305,30 @@ type Matrix struct {
 	// versioned is set by EnableVersioning (versions.go): shards then stamp
 	// changed elements so CachedClients can validate cheaply.
 	versioned bool
+
+	// gen counts placement generations: MigrateMatrix bumps it when it swaps
+	// Part, and ShardEpoch mixes it into the epoch it reports. A generation
+	// bump therefore fences every CachedClient entry and HotReplicaSet store
+	// exactly like a server recovery would — necessary because a logical shard
+	// index names a different column set under the new placement.
+	gen uint64
+
+	// Route gate (migrate.go): top-level operators register with enterOp /
+	// exitOp; the migration cutover closes the gate, waits for active
+	// operators to drain, swaps the placement, and reopens. All host-side —
+	// an open gate adds no yields, events, or virtual time.
+	gateActive  int
+	gateClosed  bool
+	gateReopen  *simnet.Signal
+	gateDrained *simnet.Signal
 }
 
-// srv returns the physical server holding logical shard s.
+// srv returns the physical server holding logical shard s. The modulus is the
+// placement's server span, not the cluster size, so a matrix keeps its
+// routing when servers are added: a P-server placement always occupies
+// physical servers 0..P-1 (Offset < P by construction).
 func (mat *Matrix) srv(s int) *Server {
-	return mat.master.servers[(s+mat.Offset)%len(mat.master.servers)]
+	return mat.master.servers[(s+mat.Offset)%mat.Part.NumServers()]
 }
 
 // PlacementFactory builds the placement for a dim-column matrix over n
@@ -343,14 +366,14 @@ func (m *Master) CreateMatrixPlaced(p *simnet.Proc, rows, dim int, pl Placement)
 	if pl.NumCols() != dim {
 		return nil, fmt.Errorf("ps: placement covers %d columns for dim %d", pl.NumCols(), dim)
 	}
-	if pl.NumServers() != len(m.servers) {
+	if pl.NumServers() > len(m.servers) {
 		return nil, fmt.Errorf("ps: placement spans %d servers, cluster has %d", pl.NumServers(), len(m.servers))
 	}
 	m.nextID++
 	mat := &Matrix{ID: m.nextID, Rows: rows, Dim: dim, Part: pl,
-		Offset: (m.nextID - 1) % len(m.servers), master: m, contig: contiguousPlacement(pl)}
+		Offset: (m.nextID - 1) % pl.NumServers(), master: m, contig: contiguousPlacement(pl)}
 	g := p.Sim().NewGroup()
-	for s := 0; s < len(m.servers); s++ {
+	for s := 0; s < pl.NumServers(); s++ {
 		s := s
 		srv := mat.srv(s)
 		g.Go("create-shard", func(cp *simnet.Proc) {
@@ -387,13 +410,13 @@ func (mat *Matrix) shardOn(s int) *Shard {
 // exactly the "loss since last checkpoint" model of the paper's §5.3.
 func (m *Master) Checkpoint(p *simnet.Proc, mat *Matrix) {
 	prev := m.checkpoints[mat.ID]
-	snaps := make([]*Shard, len(m.servers))
+	snaps := make([]*Shard, mat.Part.NumServers())
 	if prev != nil {
 		copy(snaps, prev)
 	}
 	t := m.Cl.Sim.Tracer()
 	g := p.Sim().NewGroup()
-	for s := 0; s < len(m.servers); s++ {
+	for s := 0; s < mat.Part.NumServers(); s++ {
 		s := s
 		srv := mat.srv(s)
 		g.Go("checkpoint", func(cp *simnet.Proc) {
@@ -501,8 +524,14 @@ func (m *Master) RecoverServer(p *simnet.Proc, s int) {
 	g := p.Sim().NewGroup()
 	for _, id := range ids {
 		id, mat := id, m.matrices[id]
+		// A P-server placement occupies physical servers 0..P-1; matrices not
+		// hosted on s have nothing to restore here.
+		span := mat.Part.NumServers()
+		if s >= span {
+			continue
+		}
 		// The logical shard that physical server s hosts for this matrix.
-		logical := (s - mat.Offset + len(m.servers)) % len(m.servers)
+		logical := (s - mat.Offset + span) % span
 		g.Go("recover", func(cp *simnet.Proc) {
 			if t != nil {
 				rs := t.Begin(srv.Node.ID, srv.Node.Name, obs.KRestore, "restore",
@@ -544,7 +573,7 @@ func (m *Master) Alive(s int) bool { return m.servers[s].alive }
 // matrices (async LR, DistML-style baselines) use it to return server memory.
 func (m *Master) ReleaseMatrix(p *simnet.Proc, mat *Matrix) {
 	g := p.Sim().NewGroup()
-	for s := 0; s < len(m.servers); s++ {
+	for s := 0; s < mat.Part.NumServers(); s++ {
 		srv := mat.srv(s)
 		g.Go("release-shard", func(cp *simnet.Proc) {
 			m.Cl.Driver.Send(cp, srv.Node, m.Cl.Cost.RequestOverheadB)

@@ -160,12 +160,15 @@ func (mat *Matrix) EnableVersioning() {
 // Versioned reports whether the matrix carries version stamps.
 func (mat *Matrix) Versioned() bool { return mat.versioned }
 
-// ShardEpoch returns the recovery epoch of the physical server hosting
-// logical shard s. The epoch is bumped when RecoverServer fences the old
-// machine; cache entries filled under an older epoch must be discarded
-// because the restored shard's version counters restart.
+// ShardEpoch returns the fencing epoch of logical shard s: the recovery
+// epoch of the physical server hosting it, mixed with the matrix's placement
+// generation. The server epoch is bumped when RecoverServer fences the old
+// machine; the generation is bumped when MigrateMatrix swaps the placement —
+// either event invalidates cache entries and replica stores stamped under
+// the old value (a restored shard restarts its version counters, and after a
+// migration the same logical index names different columns).
 func (mat *Matrix) ShardEpoch(s int) uint64 {
-	return mat.master.epochs[(s+mat.Offset)%len(mat.master.servers)]
+	return mat.gen<<32 | mat.master.epochs[(s+mat.Offset)%mat.Part.NumServers()]
 }
 
 // ServerEpoch returns physical server s's recovery epoch.

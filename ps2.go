@@ -78,6 +78,14 @@ type FaultPlan = core.FaultPlan
 // CrashEvent is one scheduled machine crash inside a FaultPlan.
 type CrashEvent = core.CrashEvent
 
+// LinkFault is one scheduled per-link loss/delay override inside a FaultPlan
+// (e.g. degrading the stream routes of an elastic migration).
+type LinkFault = core.LinkFault
+
+// MigrationStats reports the elastic-membership subsystem's counters; see
+// Engine.Snapshot().Migration for the end-of-run view.
+type MigrationStats = ps.MigrationStats
+
 // DetectorConfig tunes the master's heartbeat failure detector
 // (Options.Detector).
 type DetectorConfig = ps.DetectorConfig
@@ -111,6 +119,16 @@ type Tracer = obs.Tracer
 // ErrServerDown is the typed error surfaced (wrapped) when a parameter
 // server stays unreachable past the retry budget.
 var ErrServerDown = ps.ErrServerDown
+
+// Typed errors of the elastic-membership layer: structurally invalid
+// membership/migration requests, a lost placement-fingerprint CAS race, and
+// a migration rolled back on an endpoint fault (retryable once the cluster
+// heals).
+var (
+	ErrBadMigration     = ps.ErrBadMigration
+	ErrStaleMigration   = ps.ErrStaleMigration
+	ErrMigrationAborted = ps.ErrMigrationAborted
+)
 
 // Instance is one sparse labelled training example.
 type Instance = data.Instance

@@ -1,0 +1,20 @@
+#!/bin/sh
+# bench_snapshot.sh — regenerate the committed benchmark snapshots.
+#
+# Runs the suite at -quick scale and writes JSON snapshots containing only
+# virtual (simulated) observations, so reruns on unchanged code are
+# byte-identical and `git diff` on the snapshots shows real behaviour drift:
+#
+#   BENCH_ELASTIC.json   the ext-elastic elastic-membership experiment
+#   BENCH_BASELINE.json  every registered experiment (the baseline suite)
+#
+# Usage: scripts/bench_snapshot.sh [output-dir]   (default: repo root)
+set -eu
+
+cd "$(dirname "$0")/.."
+out="${1:-.}"
+
+go run ./cmd/ps2bench -exp ext-elastic -quick -json "$out/BENCH_ELASTIC.json" >/dev/null
+go run ./cmd/ps2bench -all -quick -json "$out/BENCH_BASELINE.json" >/dev/null
+
+echo "snapshots written to $out/BENCH_ELASTIC.json and $out/BENCH_BASELINE.json"
