@@ -40,6 +40,12 @@ type Result struct {
 	// Phases carries the matching compute/comm/wait/recovery summaries.
 	Spans  []obs.NamedTrace
 	Phases []string
+
+	// Volatile marks a result whose rows measure the host machine (wall
+	// clock, real sockets) rather than the simulation. Volatile results
+	// render normally but are excluded from JSON snapshots, which promise
+	// byte-identical reruns on unchanged code.
+	Volatile bool
 }
 
 // AddRow appends one table row, stringifying the cells.

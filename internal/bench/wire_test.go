@@ -1,0 +1,30 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestExtWireShape pins the ext-wire contract: both arms run, and the TCP
+// trajectory agrees with the simulated one — any divergence note means the
+// real transport changed the training math.
+func TestExtWireShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape checks run full experiments")
+	}
+	res := runExtWire(Opts{Quick: true})
+	if len(res.Rows) != 2 {
+		t.Fatalf("%d rows, want simnet + tcp", len(res.Rows))
+	}
+	if res.Rows[0][0] != "simnet (virtual)" || res.Rows[1][0] != "tcp (wall)" {
+		t.Fatalf("unexpected arm labels: %v / %v", res.Rows[0][0], res.Rows[1][0])
+	}
+	if !res.Volatile {
+		t.Fatal("ext-wire must be Volatile: its tcp rows are host wall clock and would break byte-stable JSON snapshots")
+	}
+	for _, n := range res.Notes {
+		if strings.Contains(n, "DIVERGENCE") {
+			t.Fatalf("transport changed the trajectory: %s", n)
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/data"
+	"repro/internal/wire"
+)
+
+func init() {
+	register("ext-wire", "Extension: real TCP transport vs simulated trajectory — same LR job, wall clock vs virtual clock", runExtWire)
+}
+
+// runExtWire runs the identical LR job through both backends of the
+// transport seam: the simnet reference arm on virtual time and in-process
+// wire servers on real loopback sockets. The loss trajectories must agree
+// to float round-off (that is the seam's contract, enforced here and in
+// internal/wire's tests); the interesting output is the throughput row —
+// what the actual protocol implementation sustains in calls/s and MB/s on
+// this machine, against what the simulated cost model charges the same
+// traffic.
+//
+// Unlike every other experiment, the wire rows measure the host machine:
+// wall-clock numbers vary run to run and box to box, so snapshot diffs of
+// this table are informational, not byte-stable.
+func runExtWire(o Opts) *Result {
+	cfg := wire.LRConfig{
+		Dataset: data.ClassifyConfig{
+			Rows: 4000, Dim: 20000, NnzPerRow: 16,
+			Skew: 1.0, NoiseRate: 0.02, WeightNnz: 2000, Seed: 23,
+		},
+		Iterations: 40,
+		BatchSize:  256,
+	}
+	servers := 4
+	if o.Quick {
+		cfg.Dataset.Rows, cfg.Dataset.Dim, cfg.Dataset.WeightNnz = 2000, 8000, 800
+		cfg.Iterations = 20
+		servers = 2
+	}
+
+	r := &Result{ID: "ext-wire",
+		Title:    "Real transport vs simulated trajectory: LR over TCP loopback and over simnet",
+		Header:   []string{"backend", "servers", "final loss", "RPC calls", "time (s)", "calls/s", "MB/s"},
+		Volatile: true} // tcp rows are host wall clock; keep JSON snapshots byte-stable
+
+	// Arm 1: the simulated trajectory — deterministic virtual time.
+	simRun, err := wire.RunLRSimnet(cfg, servers)
+	if err != nil {
+		panic(err)
+	}
+	r.AddRow("simnet (virtual)", servers, simRun.Result.FinalLoss,
+		int(simRun.Calls), simRun.WallSec, "n/a", "n/a")
+
+	// Arm 2: the same job over real sockets, in-process servers.
+	srvs := make([]*wire.Server, servers)
+	addrs := make([]string, servers)
+	for i := range srvs {
+		srvs[i] = wire.NewServer()
+		addr, err := srvs[i].Listen("127.0.0.1:0")
+		if err != nil {
+			panic(err)
+		}
+		addrs[i] = addr
+		go srvs[i].Serve()
+	}
+	defer func() {
+		for _, s := range srvs {
+			s.Close()
+		}
+	}()
+	retry := wire.DefaultRetry()
+	retry.Timeout = 10 * time.Second // loaded CI boxes stall far past the simulated 250ms
+	c := wire.NewClient(addrs, retry)
+	defer c.Close()
+
+	start := time.Now()
+	wireRun, err := wire.RunLR(c, cfg)
+	if err != nil {
+		panic(err)
+	}
+	wall := time.Since(start).Seconds()
+	st := c.Stats()
+	mb := float64(st.BytesIn+st.BytesOut) / 1e6
+	r.AddRow("tcp (wall)", servers, wireRun.FinalLoss,
+		int(st.Calls), wall, float64(st.Calls)/wall, mb/wall)
+
+	// The seam's contract: only the bytes-mover differs.
+	diff := wireRun.FinalLoss - simRun.Result.FinalLoss
+	if diff < 0 {
+		diff = -diff
+	}
+	agree := "trajectories agree to float round-off"
+	if diff > 1e-9 {
+		agree = fmt.Sprintf("TRAJECTORY DIVERGENCE: |Δ final loss| = %g", diff)
+	}
+	r.Note("%s (wire vs simnet final loss Δ = %.2e)", agree, diff)
+	r.Note("tcp rows measure this host's wall clock — informational, not byte-stable across runs")
+	return r
+}

@@ -92,8 +92,16 @@ func (l LoadSnapshot) Active() bool {
 type NetSnapshot struct {
 	RPCCalls     uint64 // logical shard calls
 	RPCAttempts  uint64 // raw send attempts (> RPCCalls under chaos retries)
+	DedupHits    uint64 // retried mutations absorbed by a server's applied-set
 	DedupPruned  uint64 // dedup entries retired by the ack watermark
 	MessagesLost uint64 // messages the chaos layer dropped
+
+	// Transport is the data-plane backend's view of the same traffic: which
+	// backend carried it and its cumulative send/byte accounting.
+	Transport       string // backend name ("simnet", "tcp")
+	TransportSends  uint64 // delivered data-plane transfers
+	TransportErrors uint64 // transfers that surfaced a loss or dead endpoint
+	TransportMB     float64
 
 	DriverSentMB   float64
 	DriverRecvMB   float64
@@ -282,7 +290,11 @@ func (s Snapshot) Fill(r *Registry) {
 
 	r.Set("", "net", "rpc.calls", float64(s.Net.RPCCalls))
 	r.Set("", "net", "rpc.attempts", float64(s.Net.RPCAttempts))
+	r.Set("", "net", "dedup.hits", float64(s.Net.DedupHits))
 	r.Set("", "net", "dedup.pruned", float64(s.Net.DedupPruned))
+	r.Set("", "net", "transport.sends", float64(s.Net.TransportSends))
+	r.Set("", "net", "transport.errors", float64(s.Net.TransportErrors))
+	r.Set("", "net", "transport.mb", s.Net.TransportMB)
 	r.Set("", "net", "messages.lost", float64(s.Net.MessagesLost))
 	r.Set("", "net", "driver.sent.mb", s.Net.DriverSentMB)
 	r.Set("", "net", "driver.recv.mb", s.Net.DriverRecvMB)

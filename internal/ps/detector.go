@@ -114,10 +114,10 @@ func (m *Master) StartMonitor(cfg DetectorConfig) {
 			for i, srv := range m.servers {
 				i, node := i, srv.Node
 				g.Go("heartbeat", func(cp *simnet.Proc) {
-					if m.Cl.Driver.TrySend(cp, node, cfg.HeartbeatBytes) != nil {
+					if m.tr.Send(cp, m.Cl.Driver, node, cfg.HeartbeatBytes) != nil {
 						return
 					}
-					if node.TrySend(cp, m.Cl.Driver, cfg.HeartbeatBytes) != nil {
+					if m.tr.Send(cp, node, m.Cl.Driver, cfg.HeartbeatBytes) != nil {
 						return
 					}
 					ok[i] = true
@@ -142,8 +142,10 @@ func (m *Master) StartMonitor(cfg DetectorConfig) {
 				// way.
 				m.Recovery.Detections++
 				t := m.Cl.Sim.Tracer()
-				t.Instant(m.Cl.Driver.ID, m.Cl.Driver.Name, obs.KDetect,
-					"server-"+strconv.Itoa(i)+" dead")
+				if t != nil {
+					t.Instant(m.Cl.Driver.ID, m.Cl.Driver.Name, obs.KDetect,
+						"server-"+strconv.Itoa(i)+" dead")
+				}
 				if srv.failedAt >= 0 {
 					m.Recovery.DetectLatencySum += p.Now() - srv.failedAt
 				}

@@ -330,7 +330,7 @@ func (rs *HotReplicaSet) serveHot(fp *simnet.Proc, t, row int, cols []int, vals 
 		changed := 0
 		if o != t {
 			// Revalidation request to the owner: column ids plus one stamp.
-			if err := servingNode.TrySend(fp, ownerSrv.Node, cost.RequestOverheadB+4*float64(len(idx))+8); err != nil {
+			if err := m.tr.Send(fp, servingNode, ownerSrv.Node, cost.RequestOverheadB+4*float64(len(idx))+8); err != nil {
 				return err
 			}
 		}
@@ -352,7 +352,7 @@ func (rs *HotReplicaSet) serveHot(fp *simnet.Proc, t, row int, cols []int, vals 
 		}
 		if o != t {
 			// Response ships only the values that actually changed.
-			if err := ownerSrv.Node.TrySend(fp, servingNode, cost.RequestOverheadB+12*float64(changed)); err != nil {
+			if err := m.tr.Send(fp, ownerSrv.Node, servingNode, cost.RequestOverheadB+12*float64(changed)); err != nil {
 				return err
 			}
 			// The owner served a revalidation: account it in the per-server

@@ -112,6 +112,7 @@ type NetStats struct {
 	Attempts    uint64
 	Batches     uint64 // fused batch executions (one per TryInvokeFused)
 	FusedOps    uint64
+	DedupHits   uint64 // retried mutations dropped by a server's applied-set
 	DedupPruned uint64
 }
 
@@ -155,6 +156,7 @@ func (m *Master) unreliable() bool {
 // MaxRetries failed attempts.
 func (mat *Matrix) CallShard(p *simnet.Proc, from *simnet.Node, spec CallSpec) error {
 	m := mat.master
+	tr := m.tr
 	rc := m.Retry.withDefaults()
 	m.Net.Calls++
 	var id uint64
@@ -181,19 +183,19 @@ func (mat *Matrix) CallShard(p *simnet.Proc, from *simnet.Node, spec CallSpec) e
 	wait := func(d float64) {
 		if t != nil {
 			ws := t.Begin(from.ID, from.Name, obs.KRPCWait, "wait", rpc)
-			p.Sleep(d)
+			tr.Sleep(p, d)
 			ws.End()
 			return
 		}
-		p.Sleep(d)
+		tr.Sleep(p, d)
 	}
 	for attempt := 0; attempt < rc.MaxRetries; attempt++ {
 		m.Net.Attempts++
-		if !from.Up() {
+		if !tr.Up(from) {
 			return fmt.Errorf("ps: client machine %q crashed: %w", from.Name, simnet.ErrNodeDown)
 		}
 		srv := mat.srv(spec.Shard)
-		if !srv.alive || !srv.Node.Up() {
+		if !srv.alive || !tr.Up(srv.Node) {
 			// Known-dead server: wait for the detector to swap in a
 			// replacement, backing off exponentially.
 			wait(backoff)
@@ -201,8 +203,8 @@ func (mat *Matrix) CallShard(p *simnet.Proc, from *simnet.Node, spec CallSpec) e
 			continue
 		}
 		node := srv.Node
-		if err := from.TrySend(p, node, spec.ReqBytes); err != nil {
-			if !from.Up() {
+		if err := tr.Send(p, from, node, spec.ReqBytes); err != nil {
+			if !tr.Up(from) {
 				return fmt.Errorf("ps: client machine %q crashed: %w", from.Name, simnet.ErrNodeDown)
 			}
 			if errors.Is(err, simnet.ErrMsgLost) {
@@ -229,7 +231,7 @@ func (mat *Matrix) CallShard(p *simnet.Proc, from *simnet.Node, spec CallSpec) e
 		}
 		// The server may have crashed (and even been replaced) while the
 		// request was queued on its CPU; a handler must not touch dead state.
-		if !node.Up() || srv.Node != node || srv.shards[mat.ID] != sh {
+		if !tr.Up(node) || srv.Node != node || srv.shards[mat.ID] != sh {
 			op.End(obs.KV{K: "stale", V: "true"})
 			wait(backoff)
 			backoff = min(backoff*2, rc.MaxBackoffSec)
@@ -242,7 +244,10 @@ func (mat *Matrix) CallShard(p *simnet.Proc, from *simnet.Node, spec CallSpec) e
 		}
 		dedupHit := id != 0 && srv.applied[id]
 		if dedupHit {
-			t.Instant(node.ID, node.Name, obs.KDedupHit, spec.Name)
+			m.Net.DedupHits++
+			if t != nil {
+				t.Instant(node.ID, node.Name, obs.KDedupHit, spec.Name)
+			}
 		}
 		if spec.Fn != nil && !dedupHit {
 			var snap [][]float64
@@ -261,7 +266,7 @@ func (mat *Matrix) CallShard(p *simnet.Proc, from *simnet.Node, spec CallSpec) e
 				continue
 			}
 			// Fn may block (operand shuffle); re-validate before committing.
-			if !node.Up() || srv.Node != node || srv.shards[mat.ID] != sh {
+			if !tr.Up(node) || srv.Node != node || srv.shards[mat.ID] != sh {
 				op.End(obs.KV{K: "stale", V: "true"})
 				wait(backoff)
 				backoff = min(backoff*2, rc.MaxBackoffSec)
@@ -279,8 +284,8 @@ func (mat *Matrix) CallShard(p *simnet.Proc, from *simnet.Node, spec CallSpec) e
 		if spec.RespBytesFn != nil {
 			respBytes = spec.RespBytesFn(sh)
 		}
-		if err := node.TrySend(p, from, respBytes); err != nil {
-			if !from.Up() {
+		if err := tr.Send(p, node, from, respBytes); err != nil {
+			if !tr.Up(from) {
 				return fmt.Errorf("ps: client machine %q crashed: %w", from.Name, simnet.ErrNodeDown)
 			}
 			// Effect applied but unacked: the applied-set makes the resend
@@ -310,7 +315,7 @@ func (mat *Matrix) CallShard(p *simnet.Proc, from *simnet.Node, spec CallSpec) e
 func (mat *Matrix) TryShard(s int) (*Shard, error) {
 	srv := mat.srv(s)
 	sh, ok := srv.shards[mat.ID]
-	if !ok || !srv.alive || !srv.Node.Up() {
+	if !ok || !srv.alive || !mat.master.tr.Up(srv.Node) {
 		return nil, fmt.Errorf("ps: shard %d of matrix %d unavailable: %w", s, mat.ID, ErrServerDown)
 	}
 	return sh, nil
@@ -325,11 +330,11 @@ func (m *Master) reliableSend(p *simnet.Proc, from, to *simnet.Node, bytes float
 	rc := m.Retry.withDefaults()
 	var err error
 	for i := 0; i < 10000; i++ {
-		err = from.TrySend(p, to, bytes)
+		err = m.tr.Send(p, from, to, bytes)
 		if err == nil || errors.Is(err, simnet.ErrNodeDown) {
 			return err
 		}
-		p.Sleep(rc.TimeoutSec)
+		m.tr.Sleep(p, rc.TimeoutSec)
 	}
 	return err
 }

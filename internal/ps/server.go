@@ -227,6 +227,12 @@ type Master struct {
 	outstanding map[uint64]struct{}
 	ackedTo     uint64
 
+	// tr is the data-plane transport seam (see transport.go). Every fallible
+	// send, liveness probe and retry sleep of the RPC, detector, replica and
+	// checkpoint-stream paths goes through it; the default SimnetTransport is
+	// a transparent shim over the kernel.
+	tr Transport
+
 	monitorStop *simnet.Signal
 }
 
@@ -261,6 +267,7 @@ func NewMaster(cl *cluster.Cluster) *Master {
 		Retry:            DefaultRetryConfig(),
 		DeltaCheckpoints: true,
 		outstanding:      map[uint64]struct{}{},
+		tr:               NewSimnetTransport(),
 	}
 	m.epochs = make([]uint64, len(cl.Servers))
 	m.Load = make([]ServerLoad, len(cl.Servers))

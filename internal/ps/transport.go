@@ -1,0 +1,104 @@
+package ps
+
+// This file is the transport seam under the RPC layer. Every data-plane byte
+// the client, server, detector, replica and migration paths put on the
+// network — and every liveness probe and timed wait those paths take — goes
+// through one Transport value owned by the Master. Two backends exist:
+//
+//   - SimnetTransport (the default) delegates to the simnet kernel's
+//     virtual-time primitives. It is a transparent shim: a run with the
+//     default transport schedules exactly the same events as the pre-seam
+//     code, which is what keeps the committed golden traces bit-identical.
+//   - internal/wire carries the same request/response shapes over real TCP
+//     sockets for multi-process runs (cmd/ps2serve, cmd/ps2worker). The wire
+//     backend does not implement this simnet-typed interface — a remote
+//     process cannot execute a CallSpec closure — instead it speaks the
+//     concrete encoded operators (pull/push/fused) that CallShard's handlers
+//     implement in-process, with deadline-based retries mapped onto the same
+//     RetryConfig. The transport conformance suite (internal/wire) pins the
+//     behaviours the two backends must share: delivery, timeout surfacing,
+//     endpoint-down surfacing, and large-payload integrity.
+//
+// The seam is deliberately narrow: fallible data-plane sends, liveness, and
+// retry sleeps. Control-plane metadata RPCs (CreateMatrix, membership joins)
+// keep the kernel's infallible Send — they are coordinator bookkeeping, not
+// the at-least-once data plane, and rerouting them would consume chaos draws
+// and shift every committed golden trace.
+
+import "repro/internal/simnet"
+
+// Transport moves data-plane bytes between machines and reports endpoint
+// liveness. Implementations must preserve simnet's error vocabulary: a send
+// returns nil on delivery, an error wrapping simnet.ErrNodeDown when either
+// endpoint is down, and simnet.ErrMsgLost when the message was dropped in
+// flight (the caller maps that to a timeout-and-resend).
+type Transport interface {
+	// Send transfers one framed payload of the given size from -> to,
+	// blocking the calling process for the transfer time.
+	Send(p *simnet.Proc, from, to *simnet.Node, bytes float64) error
+	// Up reports whether the endpoint is currently serving — the liveness
+	// signal CallShard consults before and after each attempt.
+	Up(n *simnet.Node) bool
+	// Sleep parks the calling context for d seconds of transport time
+	// (virtual seconds on simnet, wall-clock on a real backend). The RPC
+	// layer's timeout and backoff waits go through it.
+	Sleep(p *simnet.Proc, d float64)
+	// Name labels the backend in snapshots and benchmark tables.
+	Name() string
+	// Stats returns the backend's cumulative byte accounting.
+	Stats() TransportStats
+}
+
+// TransportStats is the byte accounting every backend keeps: delivered
+// sends and their payload bytes, plus sends that errored (lost or hit a
+// dead endpoint). Counters are host-side — recording them advances no
+// virtual time.
+type TransportStats struct {
+	Sends      uint64  // delivered transfers
+	SendErrors uint64  // transfers that returned an error
+	Bytes      float64 // payload bytes of delivered transfers
+}
+
+// SimnetTransport is the default backend: a pass-through to the simnet
+// kernel. Zero value is ready to use.
+type SimnetTransport struct {
+	stats TransportStats
+}
+
+// NewSimnetTransport returns the default virtual-time backend.
+func NewSimnetTransport() *SimnetTransport { return &SimnetTransport{} }
+
+// Send delegates to the kernel's fallible transfer primitive.
+func (tr *SimnetTransport) Send(p *simnet.Proc, from, to *simnet.Node, bytes float64) error {
+	if err := from.TrySend(p, to, bytes); err != nil {
+		tr.stats.SendErrors++
+		return err
+	}
+	tr.stats.Sends++
+	tr.stats.Bytes += bytes
+	return nil
+}
+
+// Up reports the node's kernel liveness flag.
+func (tr *SimnetTransport) Up(n *simnet.Node) bool { return n.Up() }
+
+// Sleep advances the calling process by d virtual seconds.
+func (tr *SimnetTransport) Sleep(p *simnet.Proc, d float64) { p.Sleep(d) }
+
+// Name labels the backend.
+func (tr *SimnetTransport) Name() string { return "simnet" }
+
+// Stats returns the cumulative byte accounting.
+func (tr *SimnetTransport) Stats() TransportStats { return tr.stats }
+
+// Transport returns the master's data-plane transport backend.
+func (m *Master) Transport() Transport { return m.tr }
+
+// SetTransport swaps the data-plane backend. Call it before any traffic
+// flows; swapping mid-run would split the byte accounting across backends.
+func (m *Master) SetTransport(tr Transport) {
+	if tr == nil {
+		tr = NewSimnetTransport()
+	}
+	m.tr = tr
+}

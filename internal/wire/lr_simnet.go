@@ -1,0 +1,133 @@
+package wire
+
+// The simnet twin of the wire LR job: the same runLRLoop driven through the
+// simulated parameter server, so a real-TCP run has a deterministic
+// reference trajectory to be checked against. The two arms share batch
+// selection, gradient math and update order; only the bytes-mover differs —
+// which is exactly the claim the transport seam makes.
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/data"
+	"repro/internal/linalg"
+	"repro/internal/ps"
+	"repro/internal/simnet"
+)
+
+// simnetStore drives the shared loop through a ps.Matrix on virtual time.
+type simnetStore struct {
+	p      *simnet.Proc
+	m      *ps.Master
+	worker *simnet.Node
+	mat    *ps.Matrix
+}
+
+func (st *simnetStore) create(_ uint32, rows, dim int) error {
+	mat, err := st.m.CreateMatrix(st.p, rows, dim)
+	if err != nil {
+		return err
+	}
+	st.mat = mat
+	return nil
+}
+
+func (st *simnetStore) pullWeights(_ uint32, cols []int) (map[int]float64, error) {
+	vals, err := st.mat.TryPullRowIndices(st.p, st.worker, rowWeight, cols)
+	if err != nil {
+		return nil, err
+	}
+	w := make(map[int]float64, len(cols))
+	for i, c := range cols {
+		w[c] = vals[i]
+	}
+	return w, nil
+}
+
+func (st *simnetStore) pushGrad(_ uint32, cols []int, vals []float64) error {
+	sv, err := linalg.NewSparse(cols, vals)
+	if err != nil {
+		return err
+	}
+	return st.mat.TryPushAdd(st.p, st.worker, rowGrad, sv)
+}
+
+func (st *simnetStore) step(_ uint32, scale float64) error {
+	cost := st.m.Cl.Cost
+	ops := []ps.InvokeOp{
+		{
+			// w += scale·grad: two rows touched per element, priced like
+			// dcv's fused Axpy.
+			ReqBytes:  24,
+			Work:      func(w int) float64 { return cost.FlopsPerElem * float64(w) * 2 },
+			Mutates:   true,
+			DirtyRows: []int{rowWeight},
+			Fn: func(_ int, sh *ps.Shard) float64 {
+				dst, src := sh.Rows[rowWeight], sh.Rows[rowGrad]
+				for i := range dst {
+					dst[i] += scale * src[i]
+				}
+				return 0
+			},
+		},
+		{
+			ReqBytes:  24,
+			Work:      func(w int) float64 { return cost.FlopsPerElem * float64(w) },
+			Mutates:   true,
+			DirtyRows: []int{rowGrad},
+			Fn: func(_ int, sh *ps.Shard) float64 {
+				row := sh.Rows[rowGrad]
+				for i := range row {
+					row[i] = 0
+				}
+				return 0
+			},
+		},
+	}
+	_, err := st.mat.TryInvokeFused(st.p, st.worker, ops)
+	return err
+}
+
+func (st *simnetStore) weights(_ uint32, dim int) ([]float64, error) {
+	return st.mat.TryPullRow(st.p, st.worker, rowWeight)
+}
+
+// SimnetLRRun is the reference arm's outcome: the shared-loop result plus
+// the simulated cluster's clock and RPC accounting, for the ext-wire
+// benchmark's comparison table.
+type SimnetLRRun struct {
+	Result   *LRResult
+	WallSec  float64 // virtual seconds the run took
+	Calls    uint64  // logical shard calls
+	Attempts uint64
+}
+
+// RunLRSimnet trains the same LR job on a simulated cluster with the given
+// server count and returns the trajectory plus virtual-time accounting.
+func RunLRSimnet(cfg LRConfig, servers int) (*SimnetLRRun, error) {
+	cfg = cfg.withDefaults()
+	ds, err := data.GenerateClassify(cfg.Dataset)
+	if err != nil {
+		return nil, err
+	}
+	sim := simnet.New()
+	ccfg := cluster.DefaultConfig()
+	ccfg.Executors = 1
+	ccfg.Servers = servers
+	cl := cluster.New(sim, ccfg)
+	m := ps.NewMaster(cl)
+
+	run := &SimnetLRRun{}
+	var loopErr error
+	sim.Spawn("wire-ref-worker", func(p *simnet.Proc) {
+		st := &simnetStore{p: p, m: m, worker: cl.Executors[0]}
+		run.Result, loopErr = runLRLoop(st, ds, cfg)
+	})
+	sim.Run()
+	if loopErr != nil {
+		return nil, loopErr
+	}
+	run.WallSec = float64(sim.Now())
+	run.Calls = m.Net.Calls
+	run.Attempts = m.Net.Attempts
+	return run, nil
+}

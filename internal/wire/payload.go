@@ -1,0 +1,325 @@
+package wire
+
+// Payload encodings for the PS operators, little-endian throughout. Each
+// operator has an append-style encoder and a cursor-style decoder; decoders
+// accumulate one sticky error so call sites check once at the end.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// enc is an append-only payload builder.
+type enc struct{ b []byte }
+
+func (e *enc) u32(v uint32) { e.b = binary.LittleEndian.AppendUint32(e.b, v) }
+func (e *enc) u64(v uint64) { e.b = binary.LittleEndian.AppendUint64(e.b, v) }
+func (e *enc) f64(v float64) {
+	e.b = binary.LittleEndian.AppendUint64(e.b, math.Float64bits(v))
+}
+func (e *enc) byte(v byte) { e.b = append(e.b, v) }
+
+// dec is a cursor over a received payload with a sticky error.
+type dec struct {
+	b   []byte
+	off int
+	err error
+}
+
+var errShortPayload = errors.New("wire: truncated payload")
+
+func (d *dec) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if d.off+n > len(d.b) {
+		d.err = errShortPayload
+		return nil
+	}
+	s := d.b[d.off : d.off+n]
+	d.off += n
+	return s
+}
+
+func (d *dec) u32() uint32 {
+	if s := d.take(4); s != nil {
+		return binary.LittleEndian.Uint32(s)
+	}
+	return 0
+}
+
+func (d *dec) u64() uint64 {
+	if s := d.take(8); s != nil {
+		return binary.LittleEndian.Uint64(s)
+	}
+	return 0
+}
+
+func (d *dec) f64() float64 {
+	if s := d.take(8); s != nil {
+		return math.Float64frombits(binary.LittleEndian.Uint64(s))
+	}
+	return 0
+}
+
+func (d *dec) byte() byte {
+	if s := d.take(1); s != nil {
+		return s[0]
+	}
+	return 0
+}
+
+// done checks the cursor consumed the payload exactly.
+func (d *dec) done() error {
+	if d.err != nil {
+		return d.err
+	}
+	if d.off != len(d.b) {
+		return fmt.Errorf("wire: %d trailing payload bytes", len(d.b)-d.off)
+	}
+	return nil
+}
+
+// maxVecLen bounds decoded element counts so a corrupt length prefix cannot
+// drive a huge allocation: MaxPayload already caps the frame, so no valid
+// vector has more than MaxPayload/8 elements.
+const maxVecLen = MaxPayload / 8
+
+func (d *dec) vecLen() int {
+	n := int(d.u32())
+	if d.err == nil && n > maxVecLen {
+		d.err = fmt.Errorf("wire: vector length %d exceeds frame cap", n)
+	}
+	return n
+}
+
+// --- CreateShard: mat, rows, [lo, hi) column range ---
+
+func encodeCreateShard(mat uint32, rows, lo, hi int) []byte {
+	var e enc
+	e.u32(mat)
+	e.u32(uint32(rows))
+	e.u32(uint32(lo))
+	e.u32(uint32(hi))
+	return e.b
+}
+
+func decodeCreateShard(p []byte) (mat uint32, rows, lo, hi int, err error) {
+	d := dec{b: p}
+	mat = d.u32()
+	rows = int(d.u32())
+	lo = int(d.u32())
+	hi = int(d.u32())
+	return mat, rows, lo, hi, d.done()
+}
+
+// --- PullSparse: request mat, row, cols; response vals (len = len(cols)) ---
+
+func encodePullSparseReq(mat uint32, row int, cols []int) []byte {
+	var e enc
+	e.u32(mat)
+	e.u32(uint32(row))
+	e.u32(uint32(len(cols)))
+	for _, c := range cols {
+		e.u32(uint32(c))
+	}
+	return e.b
+}
+
+func decodePullSparseReq(p []byte) (mat uint32, row int, cols []int, err error) {
+	d := dec{b: p}
+	mat = d.u32()
+	row = int(d.u32())
+	n := d.vecLen()
+	if d.err == nil {
+		cols = make([]int, n)
+		for i := range cols {
+			cols[i] = int(d.u32())
+		}
+	}
+	return mat, row, cols, d.done()
+}
+
+func encodeVals(vals []float64) []byte {
+	var e enc
+	e.u32(uint32(len(vals)))
+	for _, v := range vals {
+		e.f64(v)
+	}
+	return e.b
+}
+
+func decodeVals(p []byte) ([]float64, error) {
+	d := dec{b: p}
+	n := d.vecLen()
+	var vals []float64
+	if d.err == nil {
+		vals = make([]float64, n)
+		for i := range vals {
+			vals[i] = d.f64()
+		}
+	}
+	return vals, d.done()
+}
+
+// --- PushAdd: mat, row, cols, vals; empty response ---
+
+func encodePushAdd(mat uint32, row int, cols []int, vals []float64) []byte {
+	var e enc
+	e.u32(mat)
+	e.u32(uint32(row))
+	e.u32(uint32(len(cols)))
+	for _, c := range cols {
+		e.u32(uint32(c))
+	}
+	for _, v := range vals {
+		e.f64(v)
+	}
+	return e.b
+}
+
+func decodePushAdd(p []byte) (mat uint32, row int, cols []int, vals []float64, err error) {
+	d := dec{b: p}
+	mat = d.u32()
+	row = int(d.u32())
+	n := d.vecLen()
+	if d.err == nil {
+		cols = make([]int, n)
+		for i := range cols {
+			cols[i] = int(d.u32())
+		}
+		vals = make([]float64, n)
+		for i := range vals {
+			vals[i] = d.f64()
+		}
+	}
+	return mat, row, cols, vals, d.done()
+}
+
+// --- Fused: mat + op program; empty response ---
+
+// Fused op kinds.
+const (
+	FAxpy  byte = 1 // Rows[Dst] += Scale * Rows[Src]
+	FZero  byte = 2 // Rows[Row] = 0
+	FScale byte = 3 // Rows[Row] *= Scale
+)
+
+// FusedOp is one step of a fused server-side program, executed in order and
+// atomically with respect to dedup: a retried program re-applies exactly
+// once (the whole request carries one reqID).
+type FusedOp struct {
+	Kind     byte
+	Dst, Src int     // FAxpy
+	Row      int     // FZero, FScale
+	Scale    float64 // FAxpy, FScale
+}
+
+func encodeFused(mat uint32, ops []FusedOp) []byte {
+	var e enc
+	e.u32(mat)
+	e.u32(uint32(len(ops)))
+	for _, op := range ops {
+		e.byte(op.Kind)
+		switch op.Kind {
+		case FAxpy:
+			e.u32(uint32(op.Dst))
+			e.u32(uint32(op.Src))
+			e.f64(op.Scale)
+		case FZero:
+			e.u32(uint32(op.Row))
+		case FScale:
+			e.u32(uint32(op.Row))
+			e.f64(op.Scale)
+		}
+	}
+	return e.b
+}
+
+func decodeFused(p []byte) (mat uint32, ops []FusedOp, err error) {
+	d := dec{b: p}
+	mat = d.u32()
+	n := d.vecLen()
+	for i := 0; i < n && d.err == nil; i++ {
+		var op FusedOp
+		op.Kind = d.byte()
+		switch op.Kind {
+		case FAxpy:
+			op.Dst = int(d.u32())
+			op.Src = int(d.u32())
+			op.Scale = d.f64()
+		case FZero:
+			op.Row = int(d.u32())
+		case FScale:
+			op.Row = int(d.u32())
+			op.Scale = d.f64()
+		default:
+			d.err = fmt.Errorf("wire: unknown fused op kind %d", op.Kind)
+		}
+		ops = append(ops, op)
+	}
+	return mat, ops, d.done()
+}
+
+// --- PullRange: request mat, row; response lo, vals (the shard's stretch) ---
+
+func encodePullRangeReq(mat uint32, row int) []byte {
+	var e enc
+	e.u32(mat)
+	e.u32(uint32(row))
+	return e.b
+}
+
+func decodePullRangeReq(p []byte) (mat uint32, row int, err error) {
+	d := dec{b: p}
+	mat = d.u32()
+	row = int(d.u32())
+	return mat, row, d.done()
+}
+
+func encodePullRangeResp(lo int, vals []float64) []byte {
+	var e enc
+	e.u32(uint32(lo))
+	e.u32(uint32(len(vals)))
+	for _, v := range vals {
+		e.f64(v)
+	}
+	return e.b
+}
+
+func decodePullRangeResp(p []byte) (lo int, vals []float64, err error) {
+	d := dec{b: p}
+	lo = int(d.u32())
+	n := d.vecLen()
+	if d.err == nil {
+		vals = make([]float64, n)
+		for i := range vals {
+			vals[i] = d.f64()
+		}
+	}
+	return lo, vals, d.done()
+}
+
+// --- Stats: empty request; response is the server's counters ---
+
+func encodeStatsResp(s ServerStats) []byte {
+	var e enc
+	e.u64(s.Requests)
+	e.u64(s.DedupHits)
+	e.u64(s.BytesIn)
+	e.u64(s.BytesOut)
+	return e.b
+}
+
+func decodeStatsResp(p []byte) (ServerStats, error) {
+	d := dec{b: p}
+	s := ServerStats{
+		Requests:  d.u64(),
+		DedupHits: d.u64(),
+		BytesIn:   d.u64(),
+		BytesOut:  d.u64(),
+	}
+	return s, d.done()
+}

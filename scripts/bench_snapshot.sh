@@ -3,7 +3,9 @@
 #
 # Runs the suite at -quick scale and writes JSON snapshots containing only
 # virtual (simulated) observations, so reruns on unchanged code are
-# byte-identical and `git diff` on the snapshots shows real behaviour drift:
+# byte-identical and `git diff` on the snapshots shows real behaviour drift
+# (volatile host-clock experiments such as ext-wire render to stdout but are
+# excluded from the JSON — see Result.Volatile):
 #
 #   BENCH_ELASTIC.json   the ext-elastic elastic-membership experiment
 #   BENCH_BASELINE.json  every registered experiment (the baseline suite)

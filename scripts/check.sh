@@ -27,6 +27,11 @@ go test -race -count=1 -run 'TestNilTracer|TestTracerObservesWithoutPerturbing' 
 
 go test -race ./...
 
+# Multi-process transport gate: real ps2serve/ps2worker processes over
+# loopback TCP, asserting convergence and agreement with the simulated
+# trajectory (see scripts/smoke_wire.sh).
+./scripts/smoke_wire.sh
+
 # Benchmark smoke gate: every benchmark in the repo must still run to
 # completion (one iteration each) so `make bench` cannot rot unnoticed.
 go test -run XXX -bench . -benchtime 1x ./...
