@@ -6,7 +6,7 @@ check:
 	./scripts/check.sh
 
 test:
-	go test -race ./...
+	go test -race -timeout 20m ./...
 
 bench:
 	go test -run XXX -bench . -benchtime 1x ./...

@@ -163,7 +163,7 @@ func TestRegistryComplete(t *testing.T) {
 		"ablation-checkpoint",
 		"ext-treeagg", "ext-mllibstar", "ext-ssp", "ext-fm", "ext-node2vec",
 		"ext-recovery", "ext-chaos", "ext-fusion", "ext-cache", "ext-skew",
-		"ext-elastic", "ext-wire",
+		"ext-elastic", "ext-wire", "ext-serve",
 	}
 	for _, id := range want {
 		if _, ok := ByID(id); !ok {

@@ -1,0 +1,67 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestExtServeShape runs the quick serving-tier experiment and pins its
+// acceptance gates: every arm accounts for every request, the hot-replica
+// fan-out keeps at least 70% of hot reads off the owners, both mixed arms
+// shed the unfavored class (and only under admission control), the exact
+// percentiles are ordered, and snapshot reads stayed bit-identical under the
+// concurrent push storm.
+func TestExtServeShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape checks run full experiments")
+	}
+	res := runExtServe(Opts{Quick: true})
+	if len(res.Rows) != 5 {
+		t.Fatalf("want 5 arms, got %d: %v", len(res.Rows), res.Rows)
+	}
+	rows := map[string][]string{}
+	for _, row := range res.Rows {
+		rows[row[0]] = row
+		req, served, shed := parseNum(t, row[1]), parseNum(t, row[2]), parseNum(t, row[3])
+		if served+shed != req {
+			t.Fatalf("%s: %v served + %v shed != %v requests", row[0], served, shed, req)
+		}
+		p50, p99 := parseNum(t, row[5]), parseNum(t, row[6])
+		if !(p50 > 0) || p50 > p99 {
+			t.Fatalf("%s: percentiles disordered: p50 %v, p99 %v", row[0], p50, p99)
+		}
+	}
+	hot := rows["LR hot-replicas"]
+	if hot == nil {
+		t.Fatalf("missing hot-replica arm: %v", res.Rows)
+	}
+	local := parseNum(t, strings.TrimSuffix(hot[4], "%"))
+	if local < 70 {
+		t.Fatalf("hot reads local %.1f%%, want >= 70%%", local)
+	}
+	if shed := parseNum(t, rows["LR mixed favor=serve"][3]); shed != 0 {
+		// Favored serving traffic fits this budget; only training sheds.
+		t.Fatalf("favor=serve arm shed %v serving reads", shed)
+	}
+	if shed := parseNum(t, rows["LR mixed favor=train"][3]); shed == 0 {
+		t.Fatal("favor=train arm shed no serving reads")
+	}
+	if shed := parseNum(t, rows["LR owner-routed"][3]); shed != 0 {
+		t.Fatalf("owner-routed arm shed %v without admission control", shed)
+	}
+	var sawIdentical, sawShedNote bool
+	for _, n := range res.Notes {
+		if strings.Contains(n, "bit-identical") && !strings.Contains(n, " 0 of") {
+			sawIdentical = true
+		}
+		if strings.Contains(n, "ErrOverload") {
+			sawShedNote = true
+		}
+	}
+	if !sawIdentical || !sawShedNote {
+		t.Fatalf("notes missing snapshot-identity or shedding evidence: %v", res.Notes)
+	}
+	if res.Volatile {
+		t.Fatal("ext-serve measures virtual time only; must stay in JSON snapshots")
+	}
+}

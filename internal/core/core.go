@@ -58,6 +58,14 @@ type Options struct {
 	// Snapshot's phase breakdown. Off by default; the disabled path costs one
 	// nil check per instrumentation site.
 	Trace bool
+
+	// Admission installs per-server admission control on the PS master from
+	// boot: every data-plane call is charged against a token bucket with a
+	// bounded, class-aware queue, and overflow is shed with ps.ErrOverload.
+	// nil (the default) admits everything at zero cost. Runs that want the
+	// gate only for a serving phase can instead install it mid-run with
+	// ps.Master.SetAdmission.
+	Admission *ps.AdmissionConfig
 }
 
 // CrashEvent schedules the crash of one machine (by role-local index) at a
@@ -144,6 +152,13 @@ func NewEngine(opt Options) *Engine {
 		master.Retry = opt.RPC
 	}
 	master.DeltaCheckpoints = !opt.FullCheckpoints
+	if opt.Admission != nil {
+		adm, err := ps.NewAdmissionControl(*opt.Admission)
+		if err != nil {
+			panic(err) // configuration error, same contract as a bad Options.Servers
+		}
+		master.SetAdmission(adm)
+	}
 	detector := opt.Detector
 	if detector == (ps.DetectorConfig{}) {
 		// A wholly unset detector config means "the defaults", not
@@ -233,9 +248,9 @@ func (e *Engine) Run(job func(p *simnet.Proc)) simnet.Time {
 
 // Snapshot gathers every end-of-run statistic into one structured report:
 // communication (RPC counters, per-role NIC bytes, chaos drops), the
-// self-healing subsystem, operator fusion, and — when the run was traced —
-// the span-derived phase breakdown. It is the single reporting entry point;
-// Report and RecoveryReport are thin deprecated views over it.
+// self-healing subsystem, operator fusion, the serving tier (reads, snapshot
+// pins, admission queueing/shedding), and — when the run was traced — the
+// span-derived phase breakdown. It is the single reporting entry point.
 func (e *Engine) Snapshot() obs.Snapshot {
 	const mb = 1e6
 	s := obs.Snapshot{
@@ -276,6 +291,19 @@ func (e *Engine) Snapshot() obs.Snapshot {
 			BulkBytes:      e.PS.Migration.BulkBytes,
 			DeltaBytes:     e.PS.Migration.DeltaBytes,
 			GateClosedSec:  e.PS.Migration.GateClosedSec,
+		},
+		Serve: obs.ServeSnapshot{
+			Reads:           e.PS.Serve.Reads,
+			ReadVals:        e.PS.Serve.ReadVals,
+			SnapshotsPinned: e.PS.Serve.SnapshotsPinned,
+			SnapshotReads:   e.PS.Serve.SnapshotReads,
+			SnapshotFences:  e.PS.Serve.SnapshotFences,
+			Admitted:        e.PS.Serve.Admitted,
+			Delayed:         e.PS.Serve.Delayed,
+			QueueDelaySec:   e.PS.Serve.QueueDelaySec,
+			MaxQueueDepth:   e.PS.Serve.MaxQueueDepth,
+			ShedServe:       e.PS.Serve.ShedServe,
+			ShedTrain:       e.PS.Serve.ShedTrain,
 		},
 		Cache: obs.CacheSnapshot{
 			Hits:           e.PS.Cache.Hits,
@@ -327,11 +355,6 @@ func (e *Engine) Snapshot() obs.Snapshot {
 
 // Tracer returns the engine's span tracer, or nil when Options.Trace was off.
 func (e *Engine) Tracer() *obs.Tracer { return e.Sim.Tracer() }
-
-// RecoveryReport returns the self-healing subsystem's accumulated metrics.
-//
-// Deprecated: use Snapshot().Recovery, which carries the same fields.
-func (e *Engine) RecoveryReport() ps.RecoveryStats { return e.PS.Recovery }
 
 // Driver returns the coordinator machine (the Spark driver, which also hosts
 // the PS-master).
@@ -466,53 +489,3 @@ func SortedTimes(traces ...*Trace) []float64 {
 	return out
 }
 
-// UtilizationReport summarizes the virtual resources a finished run
-// consumed, grouped by role — the quick sanity view examples print.
-type UtilizationReport struct {
-	DriverSentMB    float64
-	DriverRecvMB    float64
-	ExecutorSentMB  float64
-	ExecutorRecvMB  float64
-	ServerSentMB    float64
-	ServerRecvMB    float64
-	ExecutorCoreSec float64
-	ServerCoreSec   float64
-	Events          uint64
-	// RPC-layer counters from the PS master: logical shard calls, raw
-	// attempts (> RPCCalls under chaos retries), ops that rode a fused
-	// request, and dedup entries retired by the acknowledgement watermark.
-	RPCCalls    uint64
-	RPCAttempts uint64
-	FusedOps    uint64
-	DedupPruned uint64
-}
-
-// Report gathers the utilization counters from the cluster.
-//
-// Deprecated: use Snapshot, which carries the same counters under Net,
-// Fusion and Phases plus the recovery and (when traced) phase views.
-func (e *Engine) Report() UtilizationReport {
-	s := e.Snapshot()
-	return UtilizationReport{
-		DriverSentMB:    s.Net.DriverSentMB,
-		DriverRecvMB:    s.Net.DriverRecvMB,
-		ExecutorSentMB:  s.Net.ExecutorSentMB,
-		ExecutorRecvMB:  s.Net.ExecutorRecvMB,
-		ServerSentMB:    s.Net.ServerSentMB,
-		ServerRecvMB:    s.Net.ServerRecvMB,
-		ExecutorCoreSec: s.Phases.ExecutorCoreSec,
-		ServerCoreSec:   s.Phases.ServerCoreSec,
-		Events:          s.Events,
-		RPCCalls:        s.Net.RPCCalls,
-		RPCAttempts:     s.Net.RPCAttempts,
-		FusedOps:        s.Fusion.FusedOps,
-		DedupPruned:     s.Net.DedupPruned,
-	}
-}
-
-func (r UtilizationReport) String() string {
-	return fmt.Sprintf(
-		"driver %.1f/%.1f MB out/in, executors %.1f/%.1f MB (%.2f core-s), servers %.1f/%.1f MB (%.2f core-s), %d events, %d RPCs (%d attempts, %d fused ops)",
-		r.DriverSentMB, r.DriverRecvMB, r.ExecutorSentMB, r.ExecutorRecvMB, r.ExecutorCoreSec,
-		r.ServerSentMB, r.ServerRecvMB, r.ServerCoreSec, r.Events, r.RPCCalls, r.RPCAttempts, r.FusedOps)
-}

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/obs"
 	"repro/internal/simnet"
 )
 
@@ -207,17 +208,10 @@ func TestSnapshot(t *testing.T) {
 	if len(s.String()) == 0 {
 		t.Fatal("empty snapshot string")
 	}
-
-	// The deprecated accessors must stay views over the same counters.
-	r := e.Report()
-	if r.ExecutorSentMB != s.Net.ExecutorSentMB || r.Events != s.Events ||
-		r.ServerCoreSec != s.Phases.ServerCoreSec {
-		t.Fatalf("Report() diverged from Snapshot(): %+v vs %+v", r, s)
+	if s.Serve.Active() {
+		t.Fatalf("serve section active on a run that never served: %+v", s.Serve)
 	}
-	if len(r.String()) == 0 {
-		t.Fatal("empty report string")
-	}
-	if rec := e.RecoveryReport(); rec != (e.PS.Recovery) {
-		t.Fatalf("RecoveryReport() diverged: %+v", rec)
+	if s.Recovery != (obs.RecoverySnapshot{}) {
+		t.Fatalf("recovery section non-zero on a clean run: %+v", s.Recovery)
 	}
 }

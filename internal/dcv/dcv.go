@@ -172,6 +172,28 @@ func (v *Vector) PullIndices(p *simnet.Proc, from *simnet.Node, indices []int) [
 	return vals
 }
 
+// PinSnapshot pins a snapshot-consistent view of the vector's raw matrix at
+// the current model clock (ps.ModelSnapshot): subsequent TryPullIndicesAt
+// reads return exactly the values live at the pin, bit-identical under
+// concurrent pushes, at no bulk-copy cost. Close the snapshot when done.
+func (v *Vector) PinSnapshot(p *simnet.Proc) (*ps.ModelSnapshot, error) {
+	return v.mat.PinSnapshot(p)
+}
+
+// TryPullIndicesAt is TryPullIndices read against a pinned snapshot instead
+// of the live model. The snapshot must pin this vector's raw matrix; reads
+// of a pin that was fenced (recovery, migration, undeclared bulk write)
+// return an error wrapping ps.ErrSnapshotInvalid, never torn values.
+func (v *Vector) TryPullIndicesAt(p *simnet.Proc, from *simnet.Node, snap *ps.ModelSnapshot, indices []int) ([]float64, error) {
+	if snap == nil {
+		return v.TryPullIndices(p, from, indices)
+	}
+	if snap.Matrix() != v.mat {
+		return nil, fmt.Errorf("dcv: snapshot pins matrix %d, vector lives in %d", snap.Matrix().ID, v.mat.ID)
+	}
+	return snap.TryReadRowIndices(p, from, v.row, indices)
+}
+
 // TryAdd pushes a sparse delta into the vector (the DCV add used as the
 // gradient push in the paper's Figure 3).
 func (v *Vector) TryAdd(p *simnet.Proc, from *simnet.Node, delta *linalg.SparseVector) error {

@@ -185,6 +185,10 @@ func Train(p *simnet.Proc, e *core.Engine, pairs *rdd.RDD[data.Pair], vertices i
 		if count > 0 {
 			model.Trace.Add(p.Now(), lossSum/count)
 		}
+		// The iteration mutated the embeddings: advance the matrix's model
+		// clock (serving-tier replica freshness rides it, ps/serve.go) and the
+		// executor cache clocks.
+		mat.TickClock()
 		if cache != nil {
 			cache.Tick()
 		}

@@ -361,14 +361,14 @@ func Train(p *simnet.Proc, e *core.Engine, dataset *rdd.RDD[data.Instance], dim 
 				return nil, err
 			}
 		}
-		// The optimizer step mutated the weight row, so advance every
-		// executor's cache clock: staleness-0 entries stop serving until
-		// revalidated against the new version stamps.
+		// The optimizer step mutated the weight row: advance the matrix's
+		// model clock — replica freshness and any serving-tier reader attached
+		// to the weights ride it (ps/serve.go) — and every executor's cache
+		// clock, so staleness-0 entries stop serving until revalidated against
+		// the new version stamps.
+		weight.Matrix().TickClock()
 		if cache != nil {
 			cache.Tick()
-		}
-		if replicas != nil {
-			replicas.Tick()
 		}
 		trace.Add(p.Now(), lossSum/float64(count))
 		if cfg.CheckpointEvery > 0 && (it+1)%cfg.CheckpointEvery == 0 {

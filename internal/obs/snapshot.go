@@ -2,9 +2,8 @@ package obs
 
 // Snapshot is the single reporting surface of a run. Engine.Snapshot()
 // assembles one from the cluster counters, the PS master's stats and (when
-// tracing is on) the tracer's phase aggregates; the legacy Report() /
-// RecoveryReport() accessors are thin views over it. The sub-structs are
-// plain data so obs stays a leaf package.
+// tracing is on) the tracer's phase aggregates. The sub-structs are plain
+// data so obs stays a leaf package.
 
 import (
 	"fmt"
@@ -22,7 +21,41 @@ type Snapshot struct {
 	Cache     CacheSnapshot
 	Load      LoadSnapshot
 	Migration MigrationSnapshot
+	Serve     ServeSnapshot
 	Phases    PhaseSnapshot
+}
+
+// ServeSnapshot is the serving-tier view, mirroring ps.ServeStats: reads
+// through ModelReader, snapshot pins/fences, and admission-control queueing
+// and shedding. All fields are zero when the run never served.
+type ServeSnapshot struct {
+	Reads    uint64 // ModelReader read operators completed
+	ReadVals uint64 // values those reads returned
+
+	SnapshotsPinned uint64 // ModelSnapshot pins taken
+	SnapshotReads   uint64 // reads served at a pinned clock
+	SnapshotFences  uint64 // snapshot reads refused because the pin was epoch-fenced
+
+	Admitted      uint64  // calls admission control let through
+	Delayed       uint64  // of those, calls that waited for a token
+	QueueDelaySec float64 // total virtual time spent queued
+	MaxQueueDepth int     // deepest queue observed (waiting calls)
+	ShedServe     uint64  // serve-class calls shed with ErrOverload
+	ShedTrain     uint64  // train-class calls shed with ErrOverload
+}
+
+// ShedRate returns the fraction of admission-gated calls that were shed.
+func (v ServeSnapshot) ShedRate() float64 {
+	total := v.Admitted + v.ShedServe + v.ShedTrain
+	if total == 0 {
+		return 0
+	}
+	return float64(v.ShedServe+v.ShedTrain) / float64(total)
+}
+
+// Active reports whether the serving tier or admission gate saw any traffic.
+func (v ServeSnapshot) Active() bool {
+	return v.Reads+v.SnapshotsPinned+v.Admitted+v.ShedServe+v.ShedTrain > 0
 }
 
 // MigrationSnapshot is the elastic-membership view: completed and aborted
@@ -270,6 +303,17 @@ func (s Snapshot) String() string {
 			s.Migration.MovedMB(), s.Migration.BulkBytes/1e6, s.Migration.DeltaBytes/1e6,
 			s.Migration.GateClosedSec)
 	}
+	if s.Serve.Active() {
+		fmt.Fprintf(&b, "serve: %d reads (%d values), %d snapshot reads (%d pins, %d fences)",
+			s.Serve.Reads, s.Serve.ReadVals, s.Serve.SnapshotReads,
+			s.Serve.SnapshotsPinned, s.Serve.SnapshotFences)
+		if s.Serve.Admitted+s.Serve.ShedServe+s.Serve.ShedTrain > 0 {
+			fmt.Fprintf(&b, "; admission: %d admitted (%d queued %.3fs, max depth %d), shed %d serve / %d train (%.1f%%)",
+				s.Serve.Admitted, s.Serve.Delayed, s.Serve.QueueDelaySec, s.Serve.MaxQueueDepth,
+				s.Serve.ShedServe, s.Serve.ShedTrain, 100*s.Serve.ShedRate())
+		}
+		b.WriteByte('\n')
+	}
 	if s.Recovery.ServerCrashes > 0 || s.Recovery.Recoveries > 0 {
 		fmt.Fprintf(&b, "recovery: %d crashes, %d detected (mean %.2fs), %d recovered (mean %.2fs), %.1f MB restored\n",
 			s.Recovery.ServerCrashes, s.Recovery.Detections, s.Recovery.MeanDetectLatency(),
@@ -334,6 +378,18 @@ func (s Snapshot) Fill(r *Registry) {
 	r.Set("", "migration", "bulk.bytes", s.Migration.BulkBytes)
 	r.Set("", "migration", "delta.bytes", s.Migration.DeltaBytes)
 	r.Set("", "migration", "gate.closed.sec", s.Migration.GateClosedSec)
+
+	r.Set("", "serve", "reads", float64(s.Serve.Reads))
+	r.Set("", "serve", "read.vals", float64(s.Serve.ReadVals))
+	r.Set("", "serve", "snapshots.pinned", float64(s.Serve.SnapshotsPinned))
+	r.Set("", "serve", "snapshot.reads", float64(s.Serve.SnapshotReads))
+	r.Set("", "serve", "snapshot.fences", float64(s.Serve.SnapshotFences))
+	r.Set("", "serve", "admitted", float64(s.Serve.Admitted))
+	r.Set("", "serve", "delayed", float64(s.Serve.Delayed))
+	r.Set("", "serve", "queue.delay.sec", s.Serve.QueueDelaySec)
+	r.Set("", "serve", "queue.max.depth", float64(s.Serve.MaxQueueDepth))
+	r.Set("", "serve", "shed.serve", float64(s.Serve.ShedServe))
+	r.Set("", "serve", "shed.train", float64(s.Serve.ShedTrain))
 
 	r.Set("", "recovery", "crashes", float64(s.Recovery.ServerCrashes))
 	r.Set("", "recovery", "detections", float64(s.Recovery.Detections))

@@ -50,6 +50,8 @@ const (
 	KMigration     // one elastic placement migration, bulk copy through swap
 	KMigrateStream // one source→target shard transfer inside a migration
 	KCutover       // migration cutover: gate closed, deltas shipped, routing swapped
+	KServeRead     // one serving-tier read (ModelReader.Read), container over its RPCs
+	KAdmit         // admission-control queue wait before a data-plane call
 )
 
 var kindNames = [...]string{
@@ -62,6 +64,7 @@ var kindNames = [...]string{
 	KMsgLost: "net.lost", KFault: "chaos.fault", KMark: "mark",
 	KMigration: "ps.migration", KMigrateStream: "ps.migrate-stream",
 	KCutover: "ps.cutover",
+	KServeRead: "serve.read", KAdmit: "ps.admit",
 }
 
 func (k Kind) String() string {
@@ -90,15 +93,15 @@ func (k Kind) Phase() Phase {
 	switch k {
 	case KNetSend:
 		return PhaseComm
-	case KRPCWait:
+	case KRPCWait, KAdmit:
 		return PhaseWait
 	case KServerOp, KFusedBatch:
 		return PhaseCompute
 	case KCheckpoint, KRecovery, KFence, KRestore, KDetectWin, KCutover:
 		return PhaseRecovery
 	}
-	// KMigration and KMigrateStream are containers: their time overlaps the
-	// net.send and cutover spans nested inside them.
+	// KMigration, KMigrateStream and KServeRead are containers: their time
+	// overlaps the net.send / cutover / rpc spans nested inside them.
 	return PhaseOther
 }
 

@@ -170,7 +170,7 @@ func (mat *Matrix) TryPullRowIndices(p *simnet.Proc, from *simnet.Node, row int,
 	}
 	mat.enterOp(p)
 	defer mat.exitOp()
-	return mat.pullRowIndices(p, from, row, indices)
+	return mat.pullRowIndices(p, from, row, indices, ClassTrain)
 }
 
 // pullRowIndices is the ungated core of TryPullRowIndices: validation and
@@ -178,8 +178,9 @@ func (mat *Matrix) TryPullRowIndices(p *simnet.Proc, from *simnet.Node, row int,
 // calls it from a child of an operator that already holds the gate — going
 // through the gated wrapper there would deadlock a migration cutover (the
 // parent can't drain until the child finishes, the child can't enter while
-// the gate is closing).
-func (mat *Matrix) pullRowIndices(p *simnet.Proc, from *simnet.Node, row int, indices []int) ([]float64, error) {
+// the gate is closing). class tags the calls for admission control — the
+// serving tier reads through here with ClassServe.
+func (mat *Matrix) pullRowIndices(p *simnet.Proc, from *simnet.Node, row int, indices []int, class Class) ([]float64, error) {
 	cost := mat.master.Cl.Cost
 	out := make([]float64, len(indices))
 	split := mat.Part.SplitIndices(indices)
@@ -195,6 +196,7 @@ func (mat *Matrix) pullRowIndices(p *simnet.Proc, from *simnet.Node, row int, in
 			errs[s] = mat.CallShard(cp, from, CallSpec{
 				Name:  "pull-sparse",
 				Shard: s,
+				Class: class,
 				// Request carries the indices; response carries the values.
 				ReqBytes:  cost.RequestOverheadB + 4*float64(len(idx)),
 				RespBytes: cost.RequestOverheadB + 8*float64(len(idx)),

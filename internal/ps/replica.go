@@ -10,10 +10,11 @@ package ps
 // per-element version stamps (versions.go): a replica copy remembers the
 // owner's element version it was fetched at, and revalidates against the
 // owner if-modified-since, shipping only values that actually changed.
-// Freshness rides the same staleness clock as the worker-side cache: a copy
+// Freshness rides the matrix's model clock (Matrix.TickClock, serve.go),
+// which trainers advance once per iteration after the optimizer step: a copy
 // validated at clock c serves reads until clock c+Staleness with no owner
 // traffic at all. Staleness 0 means "validated this clock", which in a BSP
-// loop — replicated rows mutate only at the barrier, the driver ticks the
+// loop — replicated rows mutate only at the barrier, the trainer ticks the
 // clock right after — makes replica reads bit-identical to owner reads: the
 // first read of a clock revalidates every column against the owner's live
 // value, and the row cannot change again until the next tick. Staleness s>0
@@ -93,7 +94,6 @@ type HotReplicaSet struct {
 	mat    *Matrix
 	cfg    ReplicaConfig
 	hot    map[int]bool
-	clock  int64
 	rr     int
 	stores []*replicaStore
 }
@@ -126,9 +126,14 @@ func (rs *HotReplicaSet) Matrix() *Matrix { return rs.mat }
 // Stats returns the master-wide replication counters.
 func (rs *HotReplicaSet) Stats() ReplicaStats { return rs.mat.master.Replica }
 
-// Tick advances the replica clock — the BSP driver calls it once per
-// iteration next to CachedClient.Tick, after the optimizer step.
-func (rs *HotReplicaSet) Tick() { rs.clock++ }
+// Tick advances the matrix's model clock. Replica freshness rides that
+// clock directly (Matrix.TickClock), and trainers tick it as part of their
+// iteration — a serving caller never needs to call this. Kept as a shim for
+// drivers that step the clock by hand.
+func (rs *HotReplicaSet) Tick() { rs.mat.TickClock() }
+
+// Clock returns the matrix model clock replica freshness is judged against.
+func (rs *HotReplicaSet) Clock() int64 { return rs.mat.clock }
 
 // TopKCols returns the k highest-weight column indices, ascending — the
 // standard way to pick HotCols from a sampled access profile. Ties break
@@ -161,10 +166,21 @@ func (rs *HotReplicaSet) PullRowIndices(p *simnet.Proc, from *simnet.Node, row i
 // owners as the staleness bound requires) and the rest take the ordinary
 // owner-routed path. Output is aligned with indices, like the raw operator.
 func (rs *HotReplicaSet) TryPullRowIndices(p *simnet.Proc, from *simnet.Node, row int, indices []int) ([]float64, error) {
+	return rs.tryPull(p, from, row, indices, rs.cfg.Staleness, ClassTrain)
+}
+
+// tryPull is TryPullRowIndices with an explicit staleness bound and
+// admission class — the serving tier (ModelReader) reads through it so a
+// per-request ReadOptions can tighten or relax the configured bound and tag
+// the traffic ClassServe.
+func (rs *HotReplicaSet) tryPull(p *simnet.Proc, from *simnet.Node, row int, indices []int, bound int, class Class) ([]float64, error) {
 	mat := rs.mat
 	mat.checkRow(row)
 	if err := validateIndices(indices, mat.Dim); err != nil {
 		return nil, err
+	}
+	if bound < 0 {
+		bound = 0
 	}
 	mat.enterOp(p)
 	defer mat.exitOp()
@@ -186,7 +202,7 @@ func (rs *HotReplicaSet) TryPullRowIndices(p *simnet.Proc, from *simnet.Node, ro
 		g.Go("replica-cold", func(cp *simnet.Proc) {
 			// The ungated core: this child runs under the gate the parent
 			// already holds, so the gated wrapper would deadlock a cutover.
-			vals, err := mat.pullRowIndices(cp, from, row, coldCols)
+			vals, err := mat.pullRowIndices(cp, from, row, coldCols, class)
 			if err != nil {
 				errCold = err
 				return
@@ -202,7 +218,7 @@ func (rs *HotReplicaSet) TryPullRowIndices(p *simnet.Proc, from *simnet.Node, ro
 		t := rs.rr
 		rs.rr = (rs.rr + 1) % mat.Part.NumServers()
 		g.Go("replica-hot", func(cp *simnet.Proc) {
-			vals, err := rs.pullHot(cp, from, t, row, hotCols)
+			vals, err := rs.pullHot(cp, from, t, row, hotCols, bound, class)
 			if err != nil {
 				errHot = err
 				return
@@ -240,7 +256,7 @@ func (rs *HotReplicaSet) resync() {
 
 // pullHot serves one row's hot columns from serving shard t's replica store,
 // fetching stale or missing copies from the owning shards.
-func (rs *HotReplicaSet) pullHot(cp *simnet.Proc, from *simnet.Node, t, row int, cols []int) ([]float64, error) {
+func (rs *HotReplicaSet) pullHot(cp *simnet.Proc, from *simnet.Node, t, row int, cols []int, bound int, class Class) ([]float64, error) {
 	mat := rs.mat
 	m := mat.master
 	cost := m.Cl.Cost
@@ -248,10 +264,11 @@ func (rs *HotReplicaSet) pullHot(cp *simnet.Proc, from *simnet.Node, t, row int,
 	err := mat.CallShard(cp, from, CallSpec{
 		Name:      "replica-pull",
 		Shard:     t,
+		Class:     class,
 		ReqBytes:  cost.RequestOverheadB + 4*float64(len(cols)),
 		RespBytes: cost.RequestOverheadB + 8*float64(len(cols)),
 		Fn: func(fp *simnet.Proc, sh *Shard) error {
-			return rs.serveHot(fp, t, row, cols, vals)
+			return rs.serveHot(fp, t, row, cols, vals, bound)
 		},
 	})
 	if err != nil {
@@ -265,7 +282,7 @@ func (rs *HotReplicaSet) pullHot(cp *simnet.Proc, from *simnet.Node, t, row int,
 // are revalidated if-modified-since against their owners (one round-trip per
 // owner shard that has stale columns). Retryable errors propagate to the
 // enclosing CallShard loop.
-func (rs *HotReplicaSet) serveHot(fp *simnet.Proc, t, row int, cols []int, vals []float64) error {
+func (rs *HotReplicaSet) serveHot(fp *simnet.Proc, t, row int, cols []int, vals []float64, bound int) error {
 	mat := rs.mat
 	m := mat.master
 	cost := m.Cl.Cost
@@ -279,7 +296,7 @@ func (rs *HotReplicaSet) serveHot(fp *simnet.Proc, t, row int, cols []int, vals 
 	// Single-flight: if another request is already revalidating this store
 	// at this clock, wait for it — the barrier-synchronized herd overlaps
 	// almost entirely, so followers usually serve locally afterwards.
-	for store.inflight != nil && store.inflightClock == rs.clock {
+	for store.inflight != nil && store.inflightClock == mat.clock {
 		store.inflight.Wait(fp)
 	}
 	// Group columns needing owner traffic by owning shard, preserving the
@@ -290,7 +307,7 @@ func (rs *HotReplicaSet) serveHot(fp *simnet.Proc, t, row int, cols []int, vals 
 		rv := store.vals[repKey{row: row, col: col}]
 		o := mat.Part.ServerOf(col)
 		if rv != nil && rv.ownerEpoch == mat.ShardEpoch(o) &&
-			rs.clock-rv.clock <= int64(rs.cfg.Staleness) {
+			mat.clock-rv.clock <= int64(bound) {
 			vals[j] = rv.val
 			m.Replica.LocalHits++
 			continue
@@ -310,7 +327,7 @@ func (rs *HotReplicaSet) serveHot(fp *simnet.Proc, t, row int, cols []int, vals 
 		// wait instead of duplicating the owner round trips, and release
 		// them on every exit path (an error just makes a follower lead).
 		sig := fp.Sim().NewSignal()
-		store.inflight, store.inflightClock = sig, rs.clock
+		store.inflight, store.inflightClock = sig, mat.clock
 		defer func() {
 			sig.Fire()
 			if store.inflight == sig {
@@ -347,7 +364,7 @@ func (rs *HotReplicaSet) serveHot(fp *simnet.Proc, t, row int, cols []int, vals 
 				rv.ver = ver
 			}
 			rv.ownerEpoch = ownerEpoch
-			rv.clock = rs.clock
+			rv.clock = mat.clock
 			vals[j] = rv.val
 		}
 		if o != t {

@@ -98,8 +98,14 @@ type CallSpec struct {
 
 	// Fn is the server-side handler. It may block (the DCV shuffle path
 	// fetches operand slices from peer servers) and may return a retryable
-	// error.
+	// error. Errors wrapping ErrSnapshotInvalid are the exception: a fenced
+	// snapshot can never become valid again, so they surface immediately.
 	Fn func(cp *simnet.Proc, sh *Shard) error
+
+	// Class is the admission class the call is charged under when the master
+	// has admission control installed (serve.go). The zero value is
+	// ClassTrain, so every pre-existing operator is training traffic.
+	Class Class
 }
 
 // NetStats counts data-plane RPC activity on a master. Calls is the number
@@ -178,6 +184,16 @@ func (mat *Matrix) CallShard(p *simnet.Proc, from *simnet.Node, spec CallSpec) e
 			p.SetTraceParent(prev)
 			rpc.End()
 		}()
+	}
+	if adm := m.Admission; adm != nil {
+		// Admission control charges the call against the target server's
+		// token bucket before any wire traffic: queued calls sleep here, shed
+		// calls return ErrOverload without consuming an attempt. Shedding is
+		// final — overload is a policy decision, not a transient fault, so the
+		// retry loop below never sees it.
+		if err := adm.admit(p, m, from, mat.srv(spec.Shard).Index, spec.Class); err != nil {
+			return err
+		}
 	}
 	backoff := rc.BackoffSec
 	wait := func(d float64) {
@@ -262,6 +278,11 @@ func (mat *Matrix) CallShard(p *simnet.Proc, from *simnet.Node, spec CallSpec) e
 			p.SetTraceParent(prevFn)
 			if err != nil {
 				op.End(obs.KV{K: "err", V: err.Error()})
+				if errors.Is(err, ErrSnapshotInvalid) {
+					// A fenced snapshot pin stays fenced; retrying would just
+					// burn the retry budget and misreport ErrServerDown.
+					return err
+				}
 				wait(rc.TimeoutSec)
 				continue
 			}

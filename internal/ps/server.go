@@ -34,6 +34,11 @@ type Shard struct {
 	ver     uint64
 	rowVer  []uint64
 	elemVer [][]uint64
+
+	// snaps lists the ModelSnapshot pins active on this shard incarnation
+	// (serve.go): commitMutate preserves pre-images into them just before it
+	// stamps an element past a pin's version.
+	snaps []*shardSnap
 }
 
 func newShard(rows int, v ColView) *Shard {
@@ -205,6 +210,15 @@ type Master struct {
 	// (see migrate.go) — the observability the ext-elastic benchmark reads.
 	Migration MigrationStats
 
+	// Serve accumulates the serving tier's counters (see serve.go) — reads,
+	// snapshot pins/fences, admission queueing and shed rates.
+	Serve ServeStats
+
+	// Admission, when installed (SetAdmission), gates every data-plane
+	// CallShard through a per-server token bucket with a bounded, class-aware
+	// queue. nil (the default) admits everything at zero cost.
+	Admission *AdmissionControl
+
 	// Placement, when set, builds the placement for every subsequently
 	// created matrix (CreateMatrix consults it; CreateMatrixPlaced bypasses
 	// it). nil keeps the default contiguous range placement.
@@ -319,6 +333,11 @@ type Matrix struct {
 	// exactly like a server recovery would — necessary because a logical shard
 	// index names a different column set under the new placement.
 	gen uint64
+
+	// clock is the model clock (serve.go): trainers tick it once per
+	// iteration after the optimizer step; replica freshness and snapshot pins
+	// are expressed against it. Host-side, monotone, never reset.
+	clock int64
 
 	// Route gate (migrate.go): top-level operators register with enterOp /
 	// exitOp; the migration cutover closes the gate, waits for active

@@ -98,6 +98,11 @@ func (sh *Shard) commitMutate(rows []int, snap [][]float64) {
 					sh.ver++
 					v = sh.ver
 				}
+				if len(sh.snaps) > 0 {
+					// An active ModelSnapshot pin (serve.go): preserve the
+					// pre-image before the stamp moves past the pin's version.
+					sh.preserve(r, c, old[c])
+				}
 				sh.elemVer[r][c] = v
 				rowChanged = true
 			}
@@ -116,6 +121,10 @@ func (sh *Shard) touchAll() {
 	for r := range sh.dirty {
 		sh.dirty[r] = true
 	}
+	// An undeclared mutation has no pre-images to preserve, so active
+	// ModelSnapshot pins can no longer reconstruct their pinned values:
+	// fence them rather than risk a torn read (serve.go).
+	sh.invalidateSnaps()
 	if sh.elemVer == nil {
 		return
 	}

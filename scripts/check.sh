@@ -25,12 +25,21 @@ fi
 # disabled-tracer regression trips here before any timing could show it).
 go test -race -count=1 -run 'TestNilTracer|TestTracerObservesWithoutPerturbing' ./internal/obs/ .
 
-go test -race ./...
+# The race detector makes the bench package's per-figure smoke tests run
+# several minutes; keep headroom over go test's 10m default so slow CI
+# runners don't hit the per-package timeout.
+go test -race -timeout 20m ./...
 
 # Multi-process transport gate: real ps2serve/ps2worker processes over
 # loopback TCP, asserting convergence and agreement with the simulated
 # trajectory (see scripts/smoke_wire.sh).
 ./scripts/smoke_wire.sh
+
+# Serving-tier smoke gate: the ext-serve experiment end to end at quick
+# scale (snapshot reads under a push storm, replica fan-out, admission
+# shedding). The acceptance gates themselves are pinned by TestExtServeShape
+# in the suite above; this line keeps the CLI path itself from rotting.
+go run ./cmd/ps2bench -exp ext-serve -quick >/dev/null
 
 # Benchmark smoke gate: every benchmark in the repo must still run to
 # completion (one iteration each) so `make bench` cannot rot unnoticed.
