@@ -1,0 +1,74 @@
+// Package arena provides sync.Pool-backed scratch buffers for the RPC hot
+// path: payload []byte on the wire encode/decode side and []float64 on the
+// pull-assembly side. The steady state of a training loop allocates the
+// same transient buffers millions of times; the arena recycles them so the
+// data path stops feeding the garbage collector.
+//
+// Ownership rules (documented in ARCHITECTURE §14):
+//
+//   - Get hands the caller exclusive ownership; the buffer is valid until
+//     the matching Put.
+//   - Put transfers ownership back; the caller must not touch the buffer
+//     afterwards (the next Get may hand it to another goroutine).
+//   - Never Put a buffer that something else still references — e.g. a
+//     response payload cached for dedup replay must be copied out first.
+//   - Put is always optional. A buffer that escapes into a long-lived
+//     structure is simply not returned; the pool refills on demand.
+//
+// Float buffers are returned zeroed (the common consumers assemble sparse
+// results into them and rely on zero initialization, exactly like make).
+// Byte buffers are returned with the requested length and arbitrary
+// contents, like an io.Reader scratch.
+package arena
+
+import "sync"
+
+// reuseCap bounds the capacity the pools retain. Buffers beyond it are
+// dropped on Put so one giant request cannot pin memory forever.
+const reuseCap = 1 << 22 // 4 MiB of bytes, 32 MiB of float64s
+
+var bytePool = sync.Pool{New: func() any { b := make([]byte, 0, 1024); return &b }}
+
+var floatPool = sync.Pool{New: func() any { s := make([]float64, 0, 256); return &s }}
+
+// Bytes returns a []byte of length n with arbitrary contents.
+func Bytes(n int) []byte {
+	p := bytePool.Get().(*[]byte)
+	if cap(*p) < n {
+		*p = make([]byte, n)
+	}
+	return (*p)[:n]
+}
+
+// PutBytes returns a buffer obtained from Bytes (or any buffer the caller
+// owns) to the pool. nil is ignored.
+func PutBytes(b []byte) {
+	if b == nil || cap(b) > reuseCap {
+		return
+	}
+	b = b[:0]
+	bytePool.Put(&b)
+}
+
+// Floats returns a zeroed []float64 of length n.
+func Floats(n int) []float64 {
+	p := floatPool.Get().(*[]float64)
+	if cap(*p) < n {
+		*p = make([]float64, n)
+	}
+	s := (*p)[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+// PutFloats returns a buffer obtained from Floats to the pool. nil is
+// ignored.
+func PutFloats(s []float64) {
+	if s == nil || cap(s) > reuseCap/8 {
+		return
+	}
+	s = s[:0]
+	floatPool.Put(&s)
+}

@@ -163,7 +163,7 @@ func TestRegistryComplete(t *testing.T) {
 		"ablation-checkpoint",
 		"ext-treeagg", "ext-mllibstar", "ext-ssp", "ext-fm", "ext-node2vec",
 		"ext-recovery", "ext-chaos", "ext-fusion", "ext-cache", "ext-skew",
-		"ext-elastic", "ext-wire", "ext-serve",
+		"ext-elastic", "ext-wire", "ext-serve", "ext-hotpath",
 	}
 	for _, id := range want {
 		if _, ok := ByID(id); !ok {
@@ -202,6 +202,29 @@ func TestExtFusionShape(t *testing.T) {
 		// reorders across pairs and only tracks approximately.
 		if strings.HasPrefix(unfused[0], "LR") && unfused[6] != fused[6] {
 			t.Fatalf("%s: fused loss %q != unfused %q", fused[0], fused[6], unfused[6])
+		}
+	}
+}
+
+// TestExtHotpathShape pins the PR's acceptance bar: the buffer-reuse pass
+// must cut steady-state allocations on the pull/push wire path by at least
+// half, and the reuse arms of the codec/frame rows must allocate exactly
+// nothing (the zero-alloc contract the wire tests also enforce).
+func TestExtHotpathShape(t *testing.T) {
+	res := runExtHotpath(Opts{Quick: true})
+	if len(res.Rows) < 5 {
+		t.Fatalf("hotpath table has %d rows, want >= 5", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		legacy, reuse := parseNum(t, row[2]), parseNum(t, row[3])
+		if legacy == 0 {
+			t.Fatalf("%s: legacy arm reports zero allocs; the comparison is vacuous", row[0])
+		}
+		if reuse > 0.5*legacy {
+			t.Fatalf("%s: reuse arm allocates %v/op vs legacy %v/op; want >= 50%% reduction", row[0], reuse, legacy)
+		}
+		if row[0] != "sparse build" && reuse != 0 {
+			t.Fatalf("%s: reuse arm allocates %v/op, want exactly 0", row[0], reuse)
 		}
 	}
 }

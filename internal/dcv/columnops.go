@@ -3,6 +3,7 @@ package dcv
 import (
 	"fmt"
 
+	"repro/internal/linalg"
 	"repro/internal/ps"
 	"repro/internal/simnet"
 )
@@ -156,12 +157,9 @@ func (v *Vector) TryDot(p *simnet.Proc, from *simnet.Node, other *Vector) (float
 	// re-executes fn, and assignment is idempotent where accumulation is not.
 	partials := make([]float64, v.mat.Part.NumServers())
 	err := v.zipInvoke(p, from, []*Vector{other}, 8, cost.FlopsPerElem, func(sp ShardSpan) {
-		var partial float64
-		a, b := sp.Rows[0], sp.Rows[1]
-		for i := range a {
-			partial += a[i] * b[i]
-		}
-		partials[sp.Shard] = partial
+		// linalg.Dot: unrolled, chunk-ordered, shard-parallel on wide spans —
+		// same bits regardless of whether the pool kicks in.
+		partials[sp.Shard] = linalg.Dot(sp.Rows[0], sp.Rows[1])
 	})
 	var total float64
 	for _, x := range partials {
@@ -184,10 +182,7 @@ func (v *Vector) Dot(p *simnet.Proc, from *simnet.Node, other *Vector) float64 {
 func (v *Vector) TryAxpy(p *simnet.Proc, from *simnet.Node, alpha float64, other *Vector) error {
 	cost := v.sess.Master.Cl.Cost
 	return v.zipInvoke(p, from, []*Vector{other}, 0, cost.FlopsPerElem, func(sp ShardSpan) {
-		a, b := sp.Rows[0], sp.Rows[1]
-		for i := range a {
-			a[i] += alpha * b[i]
-		}
+		linalg.Axpy(alpha, sp.Rows[1], sp.Rows[0])
 	})
 }
 
@@ -200,7 +195,7 @@ func (v *Vector) Axpy(p *simnet.Proc, from *simnet.Node, alpha float64, other *V
 
 // TryAddVec computes v += other element-wise, server-side.
 func (v *Vector) TryAddVec(p *simnet.Proc, from *simnet.Node, other *Vector) error {
-	return v.elementwise(p, from, other, func(a, b float64) float64 { return a + b })
+	return v.elementwise(p, from, other, linalg.Add)
 }
 
 // AddVec is TryAddVec panicking on operand or availability errors.
@@ -212,7 +207,7 @@ func (v *Vector) AddVec(p *simnet.Proc, from *simnet.Node, other *Vector) {
 
 // TrySubVec computes v -= other element-wise, server-side.
 func (v *Vector) TrySubVec(p *simnet.Proc, from *simnet.Node, other *Vector) error {
-	return v.elementwise(p, from, other, func(a, b float64) float64 { return a - b })
+	return v.elementwise(p, from, other, linalg.Sub)
 }
 
 // SubVec is TrySubVec panicking on operand or availability errors.
@@ -224,7 +219,7 @@ func (v *Vector) SubVec(p *simnet.Proc, from *simnet.Node, other *Vector) {
 
 // TryMulVec computes v *= other element-wise, server-side.
 func (v *Vector) TryMulVec(p *simnet.Proc, from *simnet.Node, other *Vector) error {
-	return v.elementwise(p, from, other, func(a, b float64) float64 { return a * b })
+	return v.elementwise(p, from, other, linalg.Mul)
 }
 
 // MulVec is TryMulVec panicking on operand or availability errors.
@@ -238,7 +233,7 @@ func (v *Vector) MulVec(p *simnet.Proc, from *simnet.Node, other *Vector) {
 // follows IEEE-754 (±Inf/NaN); algorithms that can hit zero denominators add
 // an epsilon, as Adam does.
 func (v *Vector) TryDivVec(p *simnet.Proc, from *simnet.Node, other *Vector) error {
-	return v.elementwise(p, from, other, func(a, b float64) float64 { return a / b })
+	return v.elementwise(p, from, other, linalg.Div)
 }
 
 // DivVec is TryDivVec panicking on operand or availability errors.
@@ -250,7 +245,7 @@ func (v *Vector) DivVec(p *simnet.Proc, from *simnet.Node, other *Vector) {
 
 // TryCopyFrom overwrites v with other, server-side.
 func (v *Vector) TryCopyFrom(p *simnet.Proc, from *simnet.Node, other *Vector) error {
-	return v.elementwise(p, from, other, func(_, b float64) float64 { return b })
+	return v.elementwise(p, from, other, func(dst, src []float64) { copy(dst, src) })
 }
 
 // CopyFrom is TryCopyFrom panicking on operand or availability errors.
@@ -260,13 +255,12 @@ func (v *Vector) CopyFrom(p *simnet.Proc, from *simnet.Node, other *Vector) {
 	}
 }
 
-func (v *Vector) elementwise(p *simnet.Proc, from *simnet.Node, other *Vector, op func(a, b float64) float64) error {
+// elementwise dispatches one in-place dense kernel (dst op= src) per shard;
+// the kernels are linalg's unrolled, shard-parallel versions.
+func (v *Vector) elementwise(p *simnet.Proc, from *simnet.Node, other *Vector, kernel func(dst, src []float64)) error {
 	cost := v.sess.Master.Cl.Cost
 	return v.zipInvoke(p, from, []*Vector{other}, 0, cost.FlopsPerElem, func(sp ShardSpan) {
-		a, b := sp.Rows[0], sp.Rows[1]
-		for i := range a {
-			a[i] = op(a[i], b[i])
-		}
+		kernel(sp.Rows[0], sp.Rows[1])
 	})
 }
 
@@ -277,10 +271,7 @@ func (v *Vector) elementwise(p *simnet.Proc, from *simnet.Node, other *Vector, o
 func (v *Vector) TryScale(p *simnet.Proc, from *simnet.Node, alpha float64) error {
 	cost := v.sess.Master.Cl.Cost
 	return v.zipInvoke(p, from, nil, 0, cost.FlopsPerElem, func(sp ShardSpan) {
-		a := sp.Rows[0]
-		for i := range a {
-			a[i] *= alpha
-		}
+		linalg.Scale(alpha, sp.Rows[0])
 	})
 }
 
@@ -297,10 +288,7 @@ func (v *Vector) Scale(p *simnet.Proc, from *simnet.Node, alpha float64) {
 func (v *Vector) TryFill(p *simnet.Proc, from *simnet.Node, c float64) error {
 	cost := v.sess.Master.Cl.Cost
 	return v.zipInvoke(p, from, nil, 0, cost.FlopsPerElem, func(sp ShardSpan) {
-		a := sp.Rows[0]
-		for i := range a {
-			a[i] = c
-		}
+		linalg.Fill(sp.Rows[0], c)
 	})
 }
 

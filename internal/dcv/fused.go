@@ -27,6 +27,7 @@ import (
 	"math"
 	"strconv"
 
+	"repro/internal/linalg"
 	"repro/internal/obs"
 	"repro/internal/ps"
 	"repro/internal/simnet"
@@ -121,10 +122,7 @@ func (b *Batch) Fill(v *Vector, c float64) *Batch {
 	b.ops = append(b.ops, fusedOp{
 		reqBytes: OpCommandBytes, workPerElem: b.cost(), mutates: true, rows: []int{row},
 		run: func(_ int, sh *ps.Shard) float64 {
-			a := sh.Rows[row]
-			for i := range a {
-				a[i] = c
-			}
+			linalg.Fill(sh.Rows[row], c)
 			return 0
 		},
 	})
@@ -143,10 +141,7 @@ func (b *Batch) Scale(v *Vector, alpha float64) *Batch {
 	b.ops = append(b.ops, fusedOp{
 		reqBytes: OpCommandBytes, workPerElem: b.cost(), mutates: true, rows: []int{row},
 		run: func(_ int, sh *ps.Shard) float64 {
-			a := sh.Rows[row]
-			for i := range a {
-				a[i] *= alpha
-			}
+			linalg.Scale(alpha, sh.Rows[row])
 			return 0
 		},
 	})
@@ -162,18 +157,17 @@ func (b *Batch) Axpy(v *Vector, alpha float64, other *Vector) *Batch {
 	b.ops = append(b.ops, fusedOp{
 		reqBytes: OpCommandBytes, workPerElem: 2 * b.cost(), mutates: true, rows: []int{tr},
 		run: func(_ int, sh *ps.Shard) float64 {
-			a, o := sh.Rows[tr], sh.Rows[or]
-			for i := range a {
-				a[i] += alpha * o[i]
-			}
+			linalg.Axpy(alpha, sh.Rows[or], sh.Rows[tr])
 			return 0
 		},
 	})
 	return b
 }
 
-// elementwise records "v = op(v, other)" element-wise.
-func (b *Batch) elementwise(name string, v, other *Vector, op func(a, bb float64) float64) *Batch {
+// elementwise records "v = kernel(v, other)" element-wise, where kernel
+// applies an in-place vectorized update dst = dst op src (see linalg's
+// unrolled kernels, which also fan wide shards over the worker pool).
+func (b *Batch) elementwise(name string, v, other *Vector, kernel func(dst, src []float64)) *Batch {
 	if !b.check(name, v, other) {
 		return b
 	}
@@ -181,10 +175,7 @@ func (b *Batch) elementwise(name string, v, other *Vector, op func(a, bb float64
 	b.ops = append(b.ops, fusedOp{
 		reqBytes: OpCommandBytes, workPerElem: 2 * b.cost(), mutates: true, rows: []int{tr},
 		run: func(_ int, sh *ps.Shard) float64 {
-			a, o := sh.Rows[tr], sh.Rows[or]
-			for i := range a {
-				a[i] = op(a[i], o[i])
-			}
+			kernel(sh.Rows[tr], sh.Rows[or])
 			return 0
 		},
 	})
@@ -193,27 +184,27 @@ func (b *Batch) elementwise(name string, v, other *Vector, op func(a, bb float64
 
 // AddVec records "v += other".
 func (b *Batch) AddVec(v, other *Vector) *Batch {
-	return b.elementwise("add", v, other, func(a, o float64) float64 { return a + o })
+	return b.elementwise("add", v, other, linalg.Add)
 }
 
 // SubVec records "v -= other".
 func (b *Batch) SubVec(v, other *Vector) *Batch {
-	return b.elementwise("sub", v, other, func(a, o float64) float64 { return a - o })
+	return b.elementwise("sub", v, other, linalg.Sub)
 }
 
 // MulVec records "v *= other".
 func (b *Batch) MulVec(v, other *Vector) *Batch {
-	return b.elementwise("mul", v, other, func(a, o float64) float64 { return a * o })
+	return b.elementwise("mul", v, other, linalg.Mul)
 }
 
 // DivVec records "v /= other".
 func (b *Batch) DivVec(v, other *Vector) *Batch {
-	return b.elementwise("div", v, other, func(a, o float64) float64 { return a / o })
+	return b.elementwise("div", v, other, linalg.Div)
 }
 
 // CopyFrom records "v = other".
 func (b *Batch) CopyFrom(v, other *Vector) *Batch {
-	return b.elementwise("copy", v, other, func(_, o float64) float64 { return o })
+	return b.elementwise("copy", v, other, func(dst, src []float64) { copy(dst, src) })
 }
 
 // ZipMap records the general server-side zip: fn runs on every shard with the
@@ -279,12 +270,7 @@ func (b *Batch) Dot(v, other *Vector) *Scalar {
 	}
 	return b.reduce("dot", []*Vector{v, other}, 2*b.cost(),
 		func(sh *ps.Shard) float64 {
-			a, o := sh.Rows[tr], sh.Rows[or]
-			var p float64
-			for i := range a {
-				p += a[i] * o[i]
-			}
-			return p
+			return linalg.Dot(sh.Rows[tr], sh.Rows[or])
 		}, sumPartials)
 }
 
@@ -295,7 +281,7 @@ func (b *Batch) Sum(v *Vector) *Scalar {
 		row = v.row
 	}
 	return b.reduce("sum", []*Vector{v}, b.cost(),
-		func(sh *ps.Shard) float64 { return sumPartials(sh.Rows[row]) }, sumPartials)
+		func(sh *ps.Shard) float64 { return linalg.Sum(sh.Rows[row]) }, sumPartials)
 }
 
 // Norm2 records the Euclidean norm of v.
@@ -306,11 +292,7 @@ func (b *Batch) Norm2(v *Vector) *Scalar {
 	}
 	return b.reduce("norm2", []*Vector{v}, b.cost(),
 		func(sh *ps.Shard) float64 {
-			var p float64
-			for _, x := range sh.Rows[row] {
-				p += x * x
-			}
-			return p
+			return linalg.SumSquares(sh.Rows[row])
 		}, func(parts []float64) float64 { return math.Sqrt(sumPartials(parts)) })
 }
 

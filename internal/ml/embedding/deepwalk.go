@@ -149,9 +149,19 @@ func Train(p *simnet.Proc, e *core.Engine, pairs *rdd.RDD[data.Pair], vertices i
 			if cache != nil {
 				buf = cache.NewPushBuffer()
 			}
-			for _, pr := range rows {
-				contexts := make([]int, 1+cfg.Negatives)
-				labels := make([]float64, 1+cfg.Negatives)
+			// Pair-parity context/label scratch. Two generations alternate
+			// because with fusion on, pair k's held-back update op executes
+			// inside pair k+1's request and still reads pair k's contexts —
+			// a single reused buffer would be overwritten out from under it.
+			var ctxScratch [2][]int
+			var lblScratch [2][]float64
+			for g := range ctxScratch {
+				ctxScratch[g] = make([]int, 1+cfg.Negatives)
+				lblScratch[g] = make([]float64, 1+cfg.Negatives)
+			}
+			var pps pullPushScratch
+			for pi, pr := range rows {
+				contexts, labels := ctxScratch[pi&1], lblScratch[pi&1]
 				contexts[0] = vertices + int(pr.V) // positive context
 				labels[0] = 1
 				for n := 0; n < cfg.Negatives; n++ {
@@ -166,7 +176,16 @@ func Train(p *simnet.Proc, e *core.Engine, pairs *rdd.RDD[data.Pair], vertices i
 				if cfg.Mode == ModeDCV {
 					loss = worker.step(tc, int(pr.U), contexts, labels)
 				} else {
-					loss = pullPushStep(tc, mat, cache, buf, int(pr.U), contexts, labels, cfg)
+					loss = pullPushStep(tc, mat, cache, buf, int(pr.U), contexts, labels, cfg, &pps)
+					// Auto-tuned mid-partition flush (opt-in via the cache
+					// config): ship the combined deltas once payload dwarfs
+					// framing instead of holding everything to partition end.
+					// Flushed deltas leave the buffer, so read-your-writes
+					// degrades to the cache's staleness bound for them — the
+					// same visibility other workers' committed updates get.
+					if buf != nil && buf.ShouldFlush() {
+						buf.Flush(tc.P, tc.Node)
+					}
 				}
 				lossSum += loss
 				count++
@@ -271,6 +290,48 @@ type dcvWorker struct {
 	mat     *ps.Matrix
 	cfg     Config
 	pending *ps.InvokeOp // previous pair's update, awaiting the next request
+
+	// Steady-state scratch, allocated once per partition instead of per pair.
+	//
+	// State captured by the held-back update op (gs, the op struct itself) is
+	// pair-parity double-buffered: pair k's op executes inside pair k+1's
+	// request, so pair k+1 must fill the OTHER generation. State consumed
+	// within one step (parts, dots) and per-shard update scratch reset on Fn
+	// entry (du, dcIdx/dcVal) need only one generation.
+	parity int
+	gs     [2][]float64  // gradient scalars, captured by the update op
+	ops    [2]ps.InvokeOp // update-op storage behind dw.pending
+	parts  [][]float64   // per-server dot partials; slot s written by server s only
+	dots   []float64
+	fused  []ps.InvokeOp // 2-op program buffer for the fused request
+	du     []float64     // update scratch: center-row delta, reset at Fn start
+	dcIdx  []int         // update scratch: distinct context rows, first-seen order
+	dcVal  [][]float64   // update scratch: context deltas aligned with dcIdx
+}
+
+// ctxDelta returns the zeroed accumulation buffer for context row ctx,
+// deduplicating repeated negatives within one sample group (nctx is tiny, so
+// the linear scan beats a map and allocates nothing in steady state).
+func (dw *dcvWorker) ctxDelta(ctx, n int) []float64 {
+	for k, id := range dw.dcIdx {
+		if id == ctx {
+			return dw.dcVal[k]
+		}
+	}
+	k := len(dw.dcIdx)
+	dw.dcIdx = append(dw.dcIdx, ctx)
+	if k == len(dw.dcVal) {
+		dw.dcVal = append(dw.dcVal, make([]float64, n))
+	}
+	d := dw.dcVal[k]
+	if cap(d) < n {
+		d = make([]float64, n)
+		dw.dcVal[k] = d
+	}
+	d = d[:n]
+	dw.dcVal[k] = d
+	linalg.Fill(d, 0)
+	return d
 }
 
 // step performs one skip-gram-with-negatives update entirely server-side:
@@ -281,44 +342,52 @@ func (dw *dcvWorker) step(tc *rdd.TaskContext, center int, contexts []int, label
 	cost := tc.Ctx.Cl.Cost
 	mat, cfg := dw.mat, dw.cfg
 	nctx := len(contexts)
+	if dw.parts == nil {
+		dw.parts = make([][]float64, mat.Part.NumServers())
+		for s := range dw.parts {
+			dw.parts[s] = make([]float64, nctx)
+		}
+		dw.dots = make([]float64, nctx)
+		dw.gs[0] = make([]float64, nctx)
+		dw.gs[1] = make([]float64, nctx)
+		dw.fused = make([]ps.InvokeOp, 2)
+	}
+	par := dw.parity
+	dw.parity ^= 1
 	// Server-side dots: request carries the row ids, response the partials.
 	// Each server assigns into its own slot (never accumulates into shared
-	// host memory) so a retried invocation after a crash stays idempotent.
-	partsByServer := make([][]float64, mat.Part.NumServers())
+	// host memory) so a retried invocation after a crash stays idempotent —
+	// every successful (re)execution overwrites all nctx entries of its slot.
+	partsByServer := dw.parts
 	dotReq, dotResp := 4*float64(1+nctx), 8*float64(nctx)
 	dotWork := func(w int) float64 { return cost.ElemWork(w * nctx) }
 	dotFn := func(s int, sh *ps.Shard) float64 {
-		part := make([]float64, nctx)
+		part := partsByServer[s]
 		u := sh.Rows[center]
 		for j, ctx := range contexts {
-			c := sh.Rows[ctx]
-			var partial float64
-			for i := range u {
-				partial += u[i] * c[i]
-			}
-			part[j] = partial
+			part[j] = linalg.Dot(u, sh.Rows[ctx])
 		}
-		partsByServer[s] = part
 		return 0
 	}
 	if dw.pending != nil {
-		up := *dw.pending
+		dw.fused[0] = *dw.pending
+		dw.fused[1] = ps.InvokeOp{ReqBytes: dotReq, RespBytes: dotResp, Work: dotWork, Fn: dotFn}
 		dw.pending = nil
-		mat.InvokeFused(tc.P, tc.Node, []ps.InvokeOp{up, {
-			ReqBytes: dotReq, RespBytes: dotResp, Work: dotWork, Fn: dotFn,
-		}})
+		mat.InvokeFused(tc.P, tc.Node, dw.fused)
 	} else {
 		// No held-back update: a pure read, outside dedup tracking.
 		mat.InvokeRead(tc.P, tc.Node, dotReq, dotResp, dotWork, dotFn)
 	}
-	dots := make([]float64, nctx)
+	dots := dw.dots
+	linalg.Fill(dots, 0)
 	for _, part := range partsByServer {
 		for j, x := range part {
 			dots[j] += x
 		}
 	}
-	// Gradients are scalars computed at the worker.
-	gs := make([]float64, nctx)
+	// Gradients are scalars computed at the worker, in this pair's parity
+	// generation: the previous pair's gs is still live inside dw.pending.
+	gs := dw.gs[par]
 	var loss float64
 	for j := range contexts {
 		p := linalg.Sigmoid(dots[j])
@@ -327,8 +396,11 @@ func (dw *dcvWorker) step(tc *rdd.TaskContext, center int, contexts []int, label
 	}
 	tc.Charge(cost.ElemWork(nctx))
 	// Server-side update: ship only the gradient scalars; every server
-	// updates its stretch of the center and context rows locally.
-	update := ps.InvokeOp{
+	// updates its stretch of the center and context rows locally. The op
+	// lives in this pair's parity slot of dw.ops so the held-back pointer
+	// stays valid while the next pair records its own.
+	update := &dw.ops[par]
+	*update = ps.InvokeOp{
 		ReqBytes: 4*float64(1+nctx) + 8*float64(nctx),
 		Work:     func(w int) float64 { return cost.ElemWork(w * nctx * 2) },
 		Mutates:  true,
@@ -337,38 +409,38 @@ func (dw *dcvWorker) step(tc *rdd.TaskContext, center int, contexts []int, label
 			// pre-update vectors, so a context sampled twice in one group
 			// (possible with negative sampling) receives two additive
 			// deltas — identical semantics to the pull/push path, which
-			// works on pulled copies.
+			// works on pulled copies. The worker-owned du/dc scratch is
+			// reset on entry; Fn bodies run start to finish with no
+			// scheduler yield, so one buffer set serves every server's
+			// invocation of this op.
 			u := sh.Rows[center]
-			du := make([]float64, len(u))
-			dc := map[int][]float64{}
+			if cap(dw.du) < len(u) {
+				dw.du = make([]float64, len(u))
+			}
+			du := dw.du[:len(u)]
+			linalg.Fill(du, 0)
+			dw.dcIdx = dw.dcIdx[:0]
 			for j, ctx := range contexts {
 				c := sh.Rows[ctx]
-				d, ok := dc[ctx]
-				if !ok {
-					d = make([]float64, len(u))
-					dc[ctx] = d
-				}
+				d := dw.ctxDelta(ctx, len(u))
 				for i := range u {
 					du[i] += gs[j] * c[i]
 					d[i] += gs[j] * u[i]
 				}
 			}
-			for ctx, d := range dc {
-				c := sh.Rows[ctx]
-				for i := range c {
-					c[i] += d[i]
-				}
+			// Apply in first-seen (deterministic) order; distinct rows, so
+			// the order cannot perturb any element's summation.
+			for k, ctx := range dw.dcIdx {
+				linalg.Add(sh.Rows[ctx], dw.dcVal[k])
 			}
-			for i := range u {
-				u[i] += du[i]
-			}
+			linalg.Add(u, du)
 			return 0
 		},
 	}
 	if cfg.NoFusion {
 		mat.Invoke(tc.P, tc.Node, update.ReqBytes, 0, update.Work, update.Fn)
 	} else {
-		dw.pending = &update
+		dw.pending = update
 	}
 	return loss
 }
@@ -383,25 +455,51 @@ func (dw *dcvWorker) flush(tc *rdd.TaskContext) {
 	dw.mat.Invoke(tc.P, tc.Node, up.ReqBytes, 0, up.Work, up.Fn)
 }
 
+// pullPushScratch is the per-partition steady-state scratch of the pull/push
+// arm: row-id assembly, pull destination buffers, and delta accumulators are
+// allocated once and reused across pairs. Safe because every consumer
+// (TryPullRowsInto, AddRowsDelta's host-side accumulate, PushRowsDelta's
+// synchronous call) finishes with the buffers before the next pair starts.
+type pullPushScratch struct {
+	rows   []int
+	vecs   [][]float64
+	deltas [][]float64
+}
+
 // pullPushStep is the PS-DeepWalk baseline: pull all vectors, update locally,
 // push the deltas back — full vector data over the network in both
 // directions. With a cache, the pull is served from the executor's cache
 // (pending buffered deltas merged in for read-your-writes) and the push
 // accumulates in the write-combining buffer instead of going to the wire.
-func pullPushStep(tc *rdd.TaskContext, mat *ps.Matrix, cache *ps.CachedClient, buf *ps.PushBuffer, center int, contexts []int, labels []float64, cfg Config) float64 {
+func pullPushStep(tc *rdd.TaskContext, mat *ps.Matrix, cache *ps.CachedClient, buf *ps.PushBuffer, center int, contexts []int, labels []float64, cfg Config, sc *pullPushScratch) float64 {
 	cost := tc.Ctx.Cl.Cost
-	rows := append([]int{center}, contexts...)
+	n := 1 + len(contexts)
+	if len(sc.rows) != n {
+		sc.rows = make([]int, n)
+		sc.vecs = make([][]float64, n)
+		sc.deltas = make([][]float64, n)
+		for i := 0; i < n; i++ {
+			sc.vecs[i] = make([]float64, cfg.K)
+			sc.deltas[i] = make([]float64, cfg.K)
+		}
+	}
+	rows := sc.rows
+	rows[0] = center
+	copy(rows[1:], contexts)
 	var vecs [][]float64
 	if cache != nil {
 		vecs = cache.PullRows(tc.P, tc.Node, rows)
 		buf.ApplyPending(rows, vecs)
 	} else {
-		vecs = mat.PullRows(tc.P, tc.Node, rows)
+		if err := mat.TryPullRowsInto(tc.P, tc.Node, rows, sc.vecs); err != nil {
+			panic(err)
+		}
+		vecs = sc.vecs
 	}
 	u := vecs[0]
-	deltas := make([][]float64, len(rows))
+	deltas := sc.deltas
 	for i := range deltas {
-		deltas[i] = make([]float64, cfg.K)
+		linalg.Fill(deltas[i], 0)
 	}
 	var loss float64
 	for j := range contexts {

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/data"
+	"repro/internal/ps"
 	"repro/internal/rdd"
 	"repro/internal/simnet"
 )
@@ -213,6 +214,42 @@ func TestUnigramNegativeSamplingSkewsTowardHubs(t *testing.T) {
 	})
 	// The training must simply succeed with the noise sampler wired in; the
 	// sampler's distribution itself is verified in linalg.
+}
+
+// TestCachedPullPushAutoFlush runs the PS baseline through the worker cache
+// with the write-combining auto-tuner enabled: training must succeed, the
+// tuner must actually trigger mid-partition flushes, and the learned loss
+// trace must stay finite (auto-flushing only re-times delta shipment; every
+// delta still lands exactly once).
+func TestCachedPullPushAutoFlush(t *testing.T) {
+	_, pairs := testGraphPairs(t)
+	e := newEngine(4, 2)
+	cfg := DefaultConfig()
+	cfg.K = 16
+	cfg.Mode = ModePullPush
+	cfg.Iterations = 3
+	cfg.BatchSize = 200
+	cfg.Cache = &ps.CacheConfig{Staleness: 1, CombinePushes: true, AutoFlushTarget: 0.5}
+	e.Run(func(p *simnet.Proc) {
+		prdd := rdd.FromSlices(e.RDD, data.PartitionPairs(pairs, 4)).Cache()
+		m, err := Train(p, e, prdd, 300, cfg)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		for _, v := range m.Trace.Values {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("non-finite loss %v in trace", v)
+			}
+		}
+	})
+	st := e.PS.Cache
+	if st.AutoFlushes == 0 {
+		t.Fatal("auto-tuner never triggered a flush (dense per-pair deltas should trip it fast)")
+	}
+	if st.AutoFlushes >= st.Flushes {
+		t.Fatalf("every flush counted as auto (%d of %d); partition-end flushes lost", st.AutoFlushes, st.Flushes)
+	}
 }
 
 func TestUniformNegativesStillSupported(t *testing.T) {

@@ -311,6 +311,13 @@ func Train(p *simnet.Proc, e *core.Engine, dataset *rdd.RDD[data.Instance], dim 
 				if err := buf.Add(grad.Row(), sv); err != nil {
 					panic(err)
 				}
+				// Auto-tuned mid-batch flush: when the buffer's pending
+				// payload already dwarfs the per-request framing, ship it
+				// now instead of letting it sit until the stage barrier.
+				// Off unless CacheConfig.AutoFlushTarget is set.
+				if buf.ShouldFlush() {
+					buf.Flush(tc.P, tc.Node)
+				}
 			} else {
 				grad.Add(tc.P, tc.Node, sv)
 			}

@@ -1,0 +1,179 @@
+// Package par provides the bounded worker pool behind the hot path's
+// shard-parallel apply and chunked reductions. It exists so the dense
+// kernels (internal/linalg) and the wide server-side ops (internal/ps,
+// internal/wire) can split work across cores without each inventing its own
+// pool — and, more importantly, so every parallel reduction in the repo
+// shares ONE numeric contract:
+//
+//	Determinism contract. Reduce always processes [0, n) in fixed chunks of
+//	ChunkSize elements and sums the per-chunk partials in ascending chunk
+//	order, whether the chunks run serially or on the pool. The partial for
+//	a chunk depends only on that chunk's elements, so the parallel result
+//	is bit-identical to the serial one — golden traces and trained-weight
+//	trajectories do not depend on GOMAXPROCS or scheduling.
+//
+// Range makes the same chunk-aligned splits for element-wise work, where any
+// split is bit-exact; alignment is kept anyway so profiles of serial and
+// parallel runs cover identical index ranges.
+//
+// The pool is deliberately modest: min(GOMAXPROCS, 8) workers, lazily
+// started, fed through a small channel. Submission is non-blocking — when
+// every worker is busy the submitting goroutine runs the span inline — so
+// nested or highly concurrent callers degrade to serial execution instead
+// of deadlocking or queueing unboundedly.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// ChunkSize is the fixed reduction granularity in elements. It is part of
+// the numeric contract shared with linalg's unrolled kernels: changing it
+// reassociates every chunked floating-point reduction in the repo.
+const ChunkSize = 2048
+
+// MinParallel is the element count below which Range and Reduce stay on the
+// calling goroutine. Fan-out costs on the order of microseconds; spans
+// smaller than this finish faster than the handoff. It is a var so tests
+// can force the parallel path on small inputs.
+var MinParallel = 1 << 15
+
+// maxWorkers bounds the pool; wide-op parallelism saturates memory
+// bandwidth long before it saturates a big machine's cores.
+const maxWorkers = 8
+
+func workers() int {
+	w := runtime.GOMAXPROCS(0)
+	if w > maxWorkers {
+		w = maxWorkers
+	}
+	return w
+}
+
+// task is one span handed to the pool.
+type task struct {
+	fn     func(lo, hi int)
+	lo, hi int
+	wg     *sync.WaitGroup
+}
+
+var (
+	poolOnce sync.Once
+	tasks    chan task
+)
+
+func startPool() {
+	n := workers()
+	tasks = make(chan task, 2*n)
+	for i := 0; i < n; i++ {
+		go func() {
+			for t := range tasks {
+				t.fn(t.lo, t.hi)
+				t.wg.Done()
+			}
+		}()
+	}
+}
+
+// submit hands a span to the pool, running it inline when the queue is full
+// (busy pool, nested call) — progress is guaranteed without blocking.
+func submit(t task) {
+	select {
+	case tasks <- t:
+	default:
+		t.fn(t.lo, t.hi)
+		t.wg.Done()
+	}
+}
+
+// spanSize returns the chunk-aligned per-worker span for n elements over w
+// workers.
+func spanSize(n, w int) int {
+	per := (n + w - 1) / w
+	// Round up to a ChunkSize multiple so worker boundaries coincide with
+	// reduction chunk boundaries.
+	per = (per + ChunkSize - 1) / ChunkSize * ChunkSize
+	if per < ChunkSize {
+		per = ChunkSize
+	}
+	return per
+}
+
+// Range runs fn over [0, n) split into chunk-aligned contiguous spans, in
+// parallel when n is large enough and more than one core is available,
+// inline otherwise. fn must be safe to call concurrently on disjoint spans
+// and must not call back into par (a nested call degrades to inline
+// execution but wastes the handoff).
+func Range(n int, fn func(lo, hi int)) {
+	w := workers()
+	if n < MinParallel || w < 2 {
+		if n > 0 {
+			fn(0, n)
+		}
+		return
+	}
+	poolOnce.Do(startPool)
+	per := spanSize(n, w)
+	var wg sync.WaitGroup
+	lo := 0
+	for lo+per < n {
+		wg.Add(1)
+		submit(task{fn: fn, lo: lo, hi: lo + per, wg: &wg})
+		lo += per
+	}
+	fn(lo, n) // run the last span on the calling goroutine
+	wg.Wait()
+}
+
+// Reduce sums fn over [0, n) in ChunkSize chunks, combining partials in
+// ascending chunk order regardless of how the chunks are scheduled (the
+// determinism contract above). fn(lo, hi) must depend only on [lo, hi) and
+// must not call back into par.
+func Reduce(n int, fn func(lo, hi int) float64) float64 {
+	w := workers()
+	if n < MinParallel || w < 2 {
+		return reduceSerial(n, fn)
+	}
+	poolOnce.Do(startPool)
+	nchunks := (n + ChunkSize - 1) / ChunkSize
+	partials := make([]float64, nchunks)
+	span := func(lo, hi int) {
+		for c := lo; c < hi; c += ChunkSize {
+			end := c + ChunkSize
+			if end > n {
+				end = n
+			}
+			partials[c/ChunkSize] = fn(c, end)
+		}
+	}
+	per := spanSize(n, w)
+	var wg sync.WaitGroup
+	lo := 0
+	for lo+per < n {
+		wg.Add(1)
+		submit(task{fn: span, lo: lo, hi: lo + per, wg: &wg})
+		lo += per
+	}
+	span(lo, n)
+	wg.Wait()
+	var s float64
+	for _, p := range partials {
+		s += p
+	}
+	return s
+}
+
+// reduceSerial is the inline twin of the parallel path: same chunking, same
+// combine order.
+func reduceSerial(n int, fn func(lo, hi int) float64) float64 {
+	var s float64
+	for lo := 0; lo < n; lo += ChunkSize {
+		hi := lo + ChunkSize
+		if hi > n {
+			hi = n
+		}
+		s += fn(lo, hi)
+	}
+	return s
+}

@@ -1,0 +1,95 @@
+package par
+
+import (
+	"math"
+	"sync/atomic"
+	"testing"
+)
+
+// TestRangeCoversEveryIndexOnce checks both the serial and the forced
+// parallel path mark each index exactly once.
+func TestRangeCoversEveryIndexOnce(t *testing.T) {
+	for _, n := range []int{0, 1, ChunkSize - 1, ChunkSize, MinParallel, MinParallel + 7, 4*MinParallel + 3} {
+		marks := make([]int32, n)
+		Range(n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&marks[i], 1)
+			}
+		})
+		for i, m := range marks {
+			if m != 1 {
+				t.Fatalf("n=%d: index %d visited %d times", n, i, m)
+			}
+		}
+	}
+}
+
+// TestReduceMatchesSerialBitwise is the determinism contract: the parallel
+// reduction must be bit-identical to the serial chunked one, for sizes that
+// exercise partial chunks and partial spans.
+func TestReduceMatchesSerialBitwise(t *testing.T) {
+	old := MinParallel
+	defer func() { MinParallel = old }()
+	for _, n := range []int{1, ChunkSize + 1, 3*ChunkSize - 5, MinParallel + 999, 4 * MinParallel} {
+		x := make([]float64, n)
+		for i := range x {
+			// Values at wildly different magnitudes so reassociation would
+			// actually change the sum.
+			x[i] = math.Sin(float64(i)) * math.Pow(10, float64(i%13)-6)
+		}
+		fn := func(lo, hi int) float64 {
+			var s float64
+			for i := lo; i < hi; i++ {
+				s += x[i]
+			}
+			return s
+		}
+		MinParallel = old
+		serial := reduceSerial(n, fn)
+		MinParallel = 1 // force the pool
+		parallel := Reduce(n, fn)
+		if math.Float64bits(serial) != math.Float64bits(parallel) {
+			t.Fatalf("n=%d: serial %x != parallel %x", n, math.Float64bits(serial), math.Float64bits(parallel))
+		}
+	}
+}
+
+// TestReduceSpansAlignToChunks would catch a span split that cuts a chunk in
+// two (which would silently change partial indexing).
+func TestReduceSpansAlignToChunks(t *testing.T) {
+	old := MinParallel
+	defer func() { MinParallel = old }()
+	MinParallel = 1
+	n := 10*ChunkSize + 17
+	var bad atomic.Int32
+	Reduce(n, func(lo, hi int) float64 {
+		if lo%ChunkSize != 0 {
+			bad.Add(1)
+		}
+		if hi != n && hi-lo != ChunkSize {
+			bad.Add(1)
+		}
+		return 0
+	})
+	if bad.Load() != 0 {
+		t.Fatalf("%d misaligned reduction chunks", bad.Load())
+	}
+}
+
+// TestNestedRangeDoesNotDeadlock: a Range body calling Range must complete
+// (inline degradation, not deadlock).
+func TestNestedRangeDoesNotDeadlock(t *testing.T) {
+	old := MinParallel
+	defer func() { MinParallel = old }()
+	MinParallel = 1
+	n := 64 * ChunkSize
+	var total atomic.Int64
+	Range(n, func(lo, hi int) {
+		Range(hi-lo, func(a, b int) {
+			total.Add(int64(b - a))
+		})
+	})
+	if total.Load() != int64(n) {
+		t.Fatalf("nested ranges covered %d of %d", total.Load(), n)
+	}
+}

@@ -42,6 +42,7 @@ package ps
 import (
 	"sort"
 
+	"repro/internal/arena"
 	"repro/internal/simnet"
 )
 
@@ -61,6 +62,17 @@ type CacheConfig struct {
 	// uncached client is required; the embedding trainer always combines
 	// (it needs the buffer for read-your-writes).
 	CombinePushes bool
+	// AutoFlushTarget opts the write buffer into adaptive mid-batch flushing:
+	// a buffer reports ShouldFlush once its pending payload bytes are large
+	// enough that per-request framing would be at most (1-target) of the
+	// flush's wire bytes. 0 (or <=0) disables auto-flushing — the trainer's
+	// own flush points (clock tick, stage barrier) remain the only flushes.
+	// Values approaching 1 demand near-perfect efficiency and so flush
+	// rarely; 0.5 flushes as soon as payload merely matches framing. The
+	// framing estimate adapts to observed flushes (EWMA), so the threshold
+	// tracks how many servers and dirty rows a flush actually touches
+	// instead of assuming the worst-case fan-out.
+	AutoFlushTarget float64
 }
 
 // CacheStats accumulates cache and write-combining counters on the Master,
@@ -78,6 +90,7 @@ type CacheStats struct {
 
 	CombinedPushes     uint64  // push deltas absorbed into write buffers
 	Flushes            uint64  // coalesced buffer flushes (fan-outs)
+	AutoFlushes        uint64  // of those, triggered by the efficiency auto-tuner
 	FlushedBytes       float64 // wire bytes the flushes paid
 	FlushBaselineBytes float64 // what per-delta pushes would have paid
 }
@@ -307,11 +320,14 @@ func (cc *CachedClient) TryPullRowIndices(p *simnet.Proc, from *simnet.Node, row
 			// Fill a shard-local buffer, then scatter to each column's global
 			// position: non-contiguous placements interleave server groups in
 			// the sorted request, so the groups do not concatenate in order.
-			sub := make([]float64, len(idx))
+			// The buffer comes from the arena — this runs once per shard per
+			// pull, millions of times per training run.
+			sub := arena.Floats(len(idx))
 			errs[s] = cc.pullIndicesShard(cp, from, nc, row, s, idx, sub)
 			for k, col := range idx {
 				out[sort.SearchInts(indices, col)] = sub[k]
 			}
+			arena.PutFloats(sub)
 		})
 	}
 	g.Wait(p)

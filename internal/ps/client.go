@@ -71,11 +71,25 @@ func (mat *Matrix) PullRow(p *simnet.Proc, from *simnet.Node, row int) []float64
 // TryPullRow is PullRow returning a typed error instead of panicking when a
 // shard stays unreachable.
 func (mat *Matrix) TryPullRow(p *simnet.Proc, from *simnet.Node, row int) ([]float64, error) {
+	out := make([]float64, mat.Dim)
+	if err := mat.TryPullRowInto(p, from, row, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// TryPullRowInto is TryPullRow assembling into caller-owned out (len must be
+// Dim). Every element of out is overwritten on success — the shard views
+// partition the column space — so steady-state pulls reuse one buffer
+// without clearing it.
+func (mat *Matrix) TryPullRowInto(p *simnet.Proc, from *simnet.Node, row int, out []float64) error {
 	mat.checkRow(row)
+	if len(out) != mat.Dim {
+		panic(fmt.Sprintf("ps: PullRowInto buffer has %d values for dim %d", len(out), mat.Dim))
+	}
 	mat.enterOp(p)
 	defer mat.exitOp()
 	cost := mat.master.Cl.Cost
-	out := make([]float64, mat.Dim)
 	errs := make([]error, mat.Part.NumServers())
 	g := p.Sim().NewGroup()
 	for s := 0; s < mat.Part.NumServers(); s++ {
@@ -94,7 +108,7 @@ func (mat *Matrix) TryPullRow(p *simnet.Proc, from *simnet.Node, row int) ([]flo
 		})
 	}
 	g.Wait(p)
-	return out, firstError(errs)
+	return firstError(errs)
 }
 
 // PullRowCompressed fetches a full row but ships only the stored nonzeros of
@@ -111,11 +125,23 @@ func (mat *Matrix) PullRowCompressed(p *simnet.Proc, from *simnet.Node, row int)
 // TryPullRowCompressed is PullRowCompressed returning a typed error instead
 // of panicking when a shard stays unreachable.
 func (mat *Matrix) TryPullRowCompressed(p *simnet.Proc, from *simnet.Node, row int) ([]float64, error) {
+	out := make([]float64, mat.Dim)
+	if err := mat.TryPullRowCompressedInto(p, from, row, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// TryPullRowCompressedInto is TryPullRowCompressed assembling into
+// caller-owned out (len must be Dim; fully overwritten on success).
+func (mat *Matrix) TryPullRowCompressedInto(p *simnet.Proc, from *simnet.Node, row int, out []float64) error {
 	mat.checkRow(row)
+	if len(out) != mat.Dim {
+		panic(fmt.Sprintf("ps: PullRowCompressedInto buffer has %d values for dim %d", len(out), mat.Dim))
+	}
 	mat.enterOp(p)
 	defer mat.exitOp()
 	cost := mat.master.Cl.Cost
-	out := make([]float64, mat.Dim)
 	errs := make([]error, mat.Part.NumServers())
 	g := p.Sim().NewGroup()
 	for s := 0; s < mat.Part.NumServers(); s++ {
@@ -137,7 +163,7 @@ func (mat *Matrix) TryPullRowCompressed(p *simnet.Proc, from *simnet.Node, row i
 		})
 	}
 	g.Wait(p)
-	return out, firstError(errs)
+	return firstError(errs)
 }
 
 // ServerNode returns the machine hosting logical shard s (exported for the
@@ -164,13 +190,26 @@ func (mat *Matrix) PullRowIndices(p *simnet.Proc, from *simnet.Node, row int, in
 // TryPullRowIndices is PullRowIndices returning a typed error instead of
 // panicking when a shard stays unreachable.
 func (mat *Matrix) TryPullRowIndices(p *simnet.Proc, from *simnet.Node, row int, indices []int) ([]float64, error) {
-	mat.checkRow(row)
-	if err := validateIndices(indices, mat.Dim); err != nil {
+	out := make([]float64, len(indices))
+	if err := mat.TryPullRowIndicesInto(p, from, row, indices, out); err != nil {
 		return nil, err
+	}
+	return out, nil
+}
+
+// TryPullRowIndicesInto is TryPullRowIndices assembling into caller-owned
+// out (len must equal len(indices); fully overwritten on success).
+func (mat *Matrix) TryPullRowIndicesInto(p *simnet.Proc, from *simnet.Node, row int, indices []int, out []float64) error {
+	mat.checkRow(row)
+	if len(out) != len(indices) {
+		panic(fmt.Sprintf("ps: PullRowIndicesInto buffer has %d values for %d indices", len(out), len(indices)))
+	}
+	if err := validateIndices(indices, mat.Dim); err != nil {
+		return err
 	}
 	mat.enterOp(p)
 	defer mat.exitOp()
-	return mat.pullRowIndices(p, from, row, indices, ClassTrain)
+	return mat.pullRowIndices(p, from, row, indices, ClassTrain, out)
 }
 
 // pullRowIndices is the ungated core of TryPullRowIndices: validation and
@@ -180,9 +219,8 @@ func (mat *Matrix) TryPullRowIndices(p *simnet.Proc, from *simnet.Node, row int,
 // parent can't drain until the child finishes, the child can't enter while
 // the gate is closing). class tags the calls for admission control — the
 // serving tier reads through here with ClassServe.
-func (mat *Matrix) pullRowIndices(p *simnet.Proc, from *simnet.Node, row int, indices []int, class Class) ([]float64, error) {
+func (mat *Matrix) pullRowIndices(p *simnet.Proc, from *simnet.Node, row int, indices []int, class Class, out []float64) error {
 	cost := mat.master.Cl.Cost
-	out := make([]float64, len(indices))
 	split := mat.Part.SplitIndices(indices)
 	errs := make([]error, mat.Part.NumServers())
 	g := p.Sim().NewGroup()
@@ -214,7 +252,7 @@ func (mat *Matrix) pullRowIndices(p *simnet.Proc, from *simnet.Node, row int, in
 		})
 	}
 	g.Wait(p)
-	return out, firstError(errs)
+	return firstError(errs)
 }
 
 // PushAdd adds a sparse delta into a row, splitting the update across the
@@ -475,16 +513,31 @@ func (mat *Matrix) PullRows(p *simnet.Proc, from *simnet.Node, rows []int) [][]f
 // TryPullRows is PullRows returning a typed error instead of panicking when
 // a shard stays unreachable.
 func (mat *Matrix) TryPullRows(p *simnet.Proc, from *simnet.Node, rows []int) ([][]float64, error) {
-	for _, r := range rows {
-		mat.checkRow(r)
-	}
-	mat.enterOp(p)
-	defer mat.exitOp()
-	cost := mat.master.Cl.Cost
 	out := make([][]float64, len(rows))
 	for i := range out {
 		out[i] = make([]float64, mat.Dim)
 	}
+	if err := mat.TryPullRowsInto(p, from, rows, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// TryPullRowsInto is TryPullRows assembling into caller-owned out: one
+// len-Dim buffer per requested row, each fully overwritten on success.
+func (mat *Matrix) TryPullRowsInto(p *simnet.Proc, from *simnet.Node, rows []int, out [][]float64) error {
+	if len(out) != len(rows) {
+		panic(fmt.Sprintf("ps: PullRowsInto got %d buffers for %d rows", len(out), len(rows)))
+	}
+	for i, r := range rows {
+		mat.checkRow(r)
+		if len(out[i]) != mat.Dim {
+			panic(fmt.Sprintf("ps: PullRowsInto buffer %d has %d values for dim %d", i, len(out[i]), mat.Dim))
+		}
+	}
+	mat.enterOp(p)
+	defer mat.exitOp()
+	cost := mat.master.Cl.Cost
 	errs := make([]error, mat.Part.NumServers())
 	g := p.Sim().NewGroup()
 	for s := 0; s < mat.Part.NumServers(); s++ {
@@ -505,7 +558,7 @@ func (mat *Matrix) TryPullRows(p *simnet.Proc, from *simnet.Node, rows []int) ([
 		})
 	}
 	g.Wait(p)
-	return out, firstError(errs)
+	return firstError(errs)
 }
 
 // PushRowsDelta adds one dense delta per row in one batched request per

@@ -25,6 +25,8 @@ package ps
 import (
 	"fmt"
 	"sort"
+
+	"repro/internal/linalg"
 )
 
 // ColView describes the set of columns one server owns, in the local order
@@ -83,10 +85,8 @@ func (v ColView) Gather(local, full []float64) {
 // vector into local: local[i] += full[At(i)].
 func (v ColView) GatherAdd(local, full []float64) {
 	if v.Cols == nil {
-		f := full[v.Lo:v.Hi]
-		for i := range local {
-			local[i] += f[i]
-		}
+		// Unrolled kernel; fans wide shards out over the worker pool.
+		linalg.Add(local, full[v.Lo:v.Hi])
 		return
 	}
 	for i, c := range v.Cols {

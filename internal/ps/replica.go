@@ -202,8 +202,8 @@ func (rs *HotReplicaSet) tryPull(p *simnet.Proc, from *simnet.Node, row int, ind
 		g.Go("replica-cold", func(cp *simnet.Proc) {
 			// The ungated core: this child runs under the gate the parent
 			// already holds, so the gated wrapper would deadlock a cutover.
-			vals, err := mat.pullRowIndices(cp, from, row, coldCols, class)
-			if err != nil {
+			vals := make([]float64, len(coldCols))
+			if err := mat.pullRowIndices(cp, from, row, coldCols, class, vals); err != nil {
 				errCold = err
 				return
 			}

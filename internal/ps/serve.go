@@ -581,7 +581,8 @@ func (mr *ModelReader) Read(p *simnet.Proc, from *simnet.Node, row int, indices 
 			return nil, err
 		}
 		mr.mat.enterOp(p)
-		out, err = mr.mat.pullRowIndices(p, from, row, indices, opts.Priority.class())
+		out = make([]float64, len(indices))
+		err = mr.mat.pullRowIndices(p, from, row, indices, opts.Priority.class(), out)
 		mr.mat.exitOp()
 	}
 	if err != nil {

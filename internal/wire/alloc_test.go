@@ -1,0 +1,210 @@
+package wire
+
+// Allocation regression guards for the hot path (ISSUE: zero-alloc
+// contract). These assert testing.AllocsPerRun == 0 on the pool-free reuse
+// paths: connection-scoped frame/response buffers and caller-supplied codec
+// scratch. They run without -race in scripts/check.sh (the race runtime
+// perturbs allocation counts).
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/par"
+)
+
+func TestReadFrameReuseZeroAlloc(t *testing.T) {
+	var wire bytes.Buffer
+	payload := make([]byte, 1500)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	if err := WriteFrame(&wire, Frame{Op: OpPushAdd, Flags: FlagMutates, ReqID: 7, AckedTo: 3, Payload: payload}); err != nil {
+		t.Fatal(err)
+	}
+	data := wire.Bytes()
+
+	r := bytes.NewReader(data)
+	var f Frame
+	var buf []byte
+	allocs := testing.AllocsPerRun(200, func() {
+		r.Reset(data)
+		if err := ReadFrameReuse(r, &f, &buf); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("ReadFrameReuse: %v allocs/op, want 0", allocs)
+	}
+	if f.ReqID != 7 || len(f.Payload) != len(payload) {
+		t.Fatalf("frame decoded wrong: reqID=%d plen=%d", f.ReqID, len(f.Payload))
+	}
+}
+
+func TestReadResponseReuseZeroAlloc(t *testing.T) {
+	var wire bytes.Buffer
+	payload := make([]byte, 900)
+	if err := WriteResponse(&wire, payload, nil); err != nil {
+		t.Fatal(err)
+	}
+	data := wire.Bytes()
+
+	r := bytes.NewReader(data)
+	var buf []byte
+	allocs := testing.AllocsPerRun(200, func() {
+		r.Reset(data)
+		if _, err := ReadResponseReuse(r, &buf); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("ReadResponseReuse: %v allocs/op, want 0", allocs)
+	}
+}
+
+// TestCodecRoundTripZeroAlloc: append-style encode into a warm buffer plus
+// decode-into with warm scratch must not allocate — this is the pooled RPC
+// encode/decode contract from the ISSUE.
+func TestCodecRoundTripZeroAlloc(t *testing.T) {
+	cols := make([]int, 128)
+	vals := make([]float64, 128)
+	for i := range cols {
+		cols[i] = i * 5
+		vals[i] = float64(i) * 0.25
+	}
+	ops := []FusedOp{
+		{Kind: FZero, Row: 0},
+		{Kind: FAxpy, Dst: 0, Src: 1, Scale: 0.5},
+		{Kind: FScale, Row: 0, Scale: 1.5},
+	}
+
+	var reqBuf, respBuf []byte
+	var colsScratch []int
+	var valsScratch []float64
+	var opsScratch []FusedOp
+
+	checks := []struct {
+		name string
+		fn   func()
+	}{
+		{"PushAdd", func() {
+			reqBuf = AppendPushAdd(reqBuf[:0], 1, 42, cols, vals)
+			_, _, _, _, err := DecodePushAddInto(reqBuf, &colsScratch, &valsScratch)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"PullSparse+Vals", func() {
+			reqBuf = AppendPullSparseReq(reqBuf[:0], 1, 42, cols)
+			_, _, _, err := DecodePullSparseReqInto(reqBuf, &colsScratch)
+			if err != nil {
+				t.Fatal(err)
+			}
+			respBuf = AppendVals(respBuf[:0], vals)
+			if _, err := DecodeValsInto(respBuf, &valsScratch); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"Fused", func() {
+			reqBuf = AppendFused(reqBuf[:0], 1, ops)
+			_, _, err := DecodeFusedInto(reqBuf, &opsScratch)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"PullRange", func() {
+			respBuf = AppendPullRangeResp(respBuf[:0], 100, vals)
+			_, _, err := DecodePullRangeRespInto(respBuf, &valsScratch)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}},
+	}
+	for _, c := range checks {
+		if allocs := testing.AllocsPerRun(200, c.fn); allocs != 0 {
+			t.Errorf("%s round trip: %v allocs/op, want 0", c.name, allocs)
+		}
+	}
+}
+
+// TestCodecIntoMatchesLegacy pins the reuse codecs to the legacy allocating
+// ones bit-for-bit.
+func TestCodecIntoMatchesLegacy(t *testing.T) {
+	cols := []int{3, 9, 27, 81}
+	vals := []float64{0.1, -2.5, math.Pi, 1e-12}
+	legacy := encodePushAdd(5, 11, cols, vals)
+	var buf []byte
+	reuse := AppendPushAdd(buf, 5, 11, cols, vals)
+	if !bytes.Equal(legacy, reuse) {
+		t.Fatal("AppendPushAdd bytes differ from legacy encoder")
+	}
+	var cs []int
+	var vs []float64
+	mat, row, dcols, dvals, err := DecodePushAddInto(legacy, &cs, &vs)
+	if err != nil || mat != 5 || row != 11 {
+		t.Fatalf("decode: mat=%d row=%d err=%v", mat, row, err)
+	}
+	for i := range cols {
+		if dcols[i] != cols[i] || math.Float64bits(dvals[i]) != math.Float64bits(vals[i]) {
+			t.Fatalf("entry %d: (%d,%v) != (%d,%v)", i, dcols[i], dvals[i], cols[i], vals[i])
+		}
+	}
+}
+
+// TestFusedShardParallelDeterministic: running a wide fused program with the
+// worker pool forced on must leave exactly the same bits in shard memory as
+// the serial path — the shard-parallel apply determinism contract.
+func TestFusedShardParallelDeterministic(t *testing.T) {
+	const dim = 3*par.ChunkSize + 17
+	build := func() *Server {
+		s := NewServer()
+		var sc connScratch
+		if _, err := s.handle(Frame{Op: OpCreateShard, Flags: FlagMutates, ReqID: 1,
+			Payload: encodeCreateShard(1, 3, 0, dim)}, &sc); err != nil {
+			t.Fatal(err)
+		}
+		cols := make([]int, dim)
+		vals := make([]float64, dim)
+		for i := range cols {
+			cols[i] = i
+			vals[i] = math.Sin(float64(i)) * math.Pow(10, float64(i%9)-4)
+		}
+		for r := 0; r < 3; r++ {
+			p := encodePushAdd(1, r, cols, vals)
+			if _, err := s.handle(Frame{Op: OpPushAdd, Flags: FlagMutates, ReqID: uint64(2 + r), Payload: p}, &sc); err != nil {
+				t.Fatal(err)
+			}
+		}
+		prog := encodeFused(1, []FusedOp{
+			{Kind: FScale, Row: 0, Scale: 1.0000001},
+			{Kind: FAxpy, Dst: 2, Src: 0, Scale: -0.37},
+			{Kind: FAxpy, Dst: 1, Src: 2, Scale: 0.11},
+			{Kind: FZero, Row: 0},
+			{Kind: FAxpy, Dst: 0, Src: 1, Scale: 2.5},
+		})
+		if _, err := s.handle(Frame{Op: OpFused, Flags: FlagMutates, ReqID: 9, Payload: prog}, &sc); err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+
+	old := par.MinParallel
+	defer func() { par.MinParallel = old }()
+
+	par.MinParallel = dim * 2 // force serial
+	serial := build()
+	par.MinParallel = 1 // force the pool
+	parallel := build()
+	par.MinParallel = old
+
+	for r := 0; r < 3; r++ {
+		a := serial.mats[1].data[r]
+		b := parallel.mats[1].data[r]
+		for i := range a {
+			if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+				t.Fatalf("row %d col %d: serial %v != parallel %v", r, i, a[i], b[i])
+			}
+		}
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/arena"
 	"repro/internal/ps"
 )
 
@@ -59,10 +60,22 @@ type ClientStats struct {
 	BytesIn  uint64
 }
 
+// poolConn is a pooled connection with its buffered reader/writer and the
+// response payload buffer, all reused across exchanges so the steady-state
+// round trip allocates nothing. The rbuf contents are only valid between an
+// exchange and the connection's release back to the pool — hence
+// callDecode's decode-before-release discipline.
+type poolConn struct {
+	net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+	rbuf []byte
+}
+
 // endpoint is one server address plus its idle-connection pool.
 type endpoint struct {
 	addr string
-	pool chan net.Conn
+	pool chan *poolConn
 }
 
 // Client talks the wire protocol to a fixed set of server endpoints,
@@ -92,7 +105,7 @@ func NewClient(addrs []string, retry Retry) *Client {
 		outstanding: make(map[uint64]struct{}),
 	}
 	for i, a := range addrs {
-		c.eps[i] = &endpoint{addr: a, pool: make(chan net.Conn, poolSize)}
+		c.eps[i] = &endpoint{addr: a, pool: make(chan *poolConn, poolSize)}
 	}
 	return c
 }
@@ -165,15 +178,29 @@ func (c *Client) count(f func(st *ClientStats)) {
 	c.mu.Unlock()
 }
 
-// Call sends one operator to server s and returns the response payload.
-// Mutating calls are exactly-once across retries (server-side dedup); the
-// retry loop resends on deadline expiry and backs off on connection errors,
-// returning an error wrapping ErrTimeout or ErrEndpointDown after
-// MaxRetries attempts. A status-1 application error is returned as-is and
-// never retried — it is deterministic, not a transport fault.
+// Call sends one operator to server s and returns the response payload as a
+// fresh allocation the caller owns. Mutating calls are exactly-once across
+// retries (server-side dedup); the retry loop resends on deadline expiry and
+// backs off on connection errors, returning an error wrapping ErrTimeout or
+// ErrEndpointDown after MaxRetries attempts. A status-1 application error is
+// returned as-is and never retried — it is deterministic, not a transport
+// fault.
 func (c *Client) Call(s int, op byte, mutates bool, payload []byte) ([]byte, error) {
+	var out []byte
+	err := c.callDecode(s, op, mutates, payload, func(resp []byte) error {
+		out = append([]byte(nil), resp...)
+		return nil
+	})
+	return out, err
+}
+
+// callDecode is the allocation-free core of Call: the response payload is
+// handed to decode while it still aliases the pooled connection's read
+// buffer, and the connection is only released afterwards. decode must not
+// retain the slice. It is invoked at most once, on the successful attempt.
+func (c *Client) callDecode(s int, op byte, mutates bool, payload []byte, decode func(resp []byte) error) error {
 	if s < 0 || s >= len(c.eps) {
-		return nil, fmt.Errorf("wire: server index %d out of range [0,%d)", s, len(c.eps))
+		return fmt.Errorf("wire: server index %d out of range [0,%d)", s, len(c.eps))
 	}
 	ep := c.eps[s]
 	reqID, ackedTo := c.begin(mutates)
@@ -189,7 +216,7 @@ func (c *Client) Call(s int, op byte, mutates bool, payload []byte) ([]byte, err
 	var lastClass error = ErrEndpointDown
 	var lastErr error
 	for attempt := 0; attempt < c.retry.MaxRetries; attempt++ {
-		conn, fresh, err := c.dial(ep)
+		pc, fresh, err := c.dial(ep)
 		if err != nil {
 			lastClass, lastErr = ErrEndpointDown, err
 			c.count(func(st *ClientStats) { st.Redials++ })
@@ -200,15 +227,18 @@ func (c *Client) Call(s int, op byte, mutates bool, payload []byte) ([]byte, err
 		if fresh {
 			c.count(func(st *ClientStats) { st.Redials++ })
 		}
-		resp, err := c.exchange(conn, f)
+		resp, err := c.exchange(pc, f)
 		if err == nil {
-			c.release(ep, conn)
-			return resp, nil
+			// Decode before release: resp aliases pc.rbuf, which the next
+			// user of this pooled connection will overwrite.
+			derr := decode(resp)
+			c.release(ep, pc)
+			return derr
 		}
-		conn.Close() // connection state is suspect after any failure
+		pc.Close() // connection state is suspect after any failure
 		var appErr *appError
 		if errors.As(err, &appErr) {
-			return nil, appErr.err
+			return appErr.err
 		}
 		var nerr net.Error
 		if errors.As(err, &nerr) && nerr.Timeout() {
@@ -224,7 +254,7 @@ func (c *Client) Call(s int, op byte, mutates bool, payload []byte) ([]byte, err
 		time.Sleep(backoff)
 		backoff = minDuration(backoff*2, c.retry.MaxBackoff)
 	}
-	return nil, fmt.Errorf("wire: server %d (%s) unreachable after %d attempts: %w (last: %v)",
+	return fmt.Errorf("wire: server %d (%s) unreachable after %d attempts: %w (last: %v)",
 		s, ep.addr, c.retry.MaxRetries, lastClass, lastErr)
 }
 
@@ -235,48 +265,50 @@ type appError struct{ err error }
 func (e *appError) Error() string { return e.err.Error() }
 
 // dial returns a pooled connection or establishes a new one; fresh reports
-// whether a new dial happened.
-func (c *Client) dial(ep *endpoint) (conn net.Conn, fresh bool, err error) {
+// whether a new dial happened. The bufio pair lives with the connection so
+// an exchange does not rebuild 4-KiB buffers per attempt.
+func (c *Client) dial(ep *endpoint) (pc *poolConn, fresh bool, err error) {
 	select {
-	case conn = <-ep.pool:
-		return conn, false, nil
+	case pc = <-ep.pool:
+		return pc, false, nil
 	default:
 	}
-	conn, err = net.DialTimeout("tcp", ep.addr, c.retry.Timeout)
+	conn, err := net.DialTimeout("tcp", ep.addr, c.retry.Timeout)
 	if err != nil {
 		return nil, true, err
 	}
-	return conn, true, nil
+	return &poolConn{Conn: conn, br: bufio.NewReader(conn), bw: bufio.NewWriter(conn)}, true, nil
 }
 
 // release parks the connection back into the pool, or closes it if the
 // pool is full.
-func (c *Client) release(ep *endpoint, conn net.Conn) {
+func (c *Client) release(ep *endpoint, pc *poolConn) {
 	select {
-	case ep.pool <- conn:
+	case ep.pool <- pc:
 	default:
-		conn.Close()
+		pc.Close()
 	}
 }
 
 // exchange runs one request/response round trip under the per-attempt
-// deadline. A server-reported application error is wrapped in appError.
-func (c *Client) exchange(conn net.Conn, f Frame) ([]byte, error) {
-	if err := conn.SetDeadline(time.Now().Add(c.retry.Timeout)); err != nil {
+// deadline. The returned payload aliases pc.rbuf — valid until the
+// connection's next exchange. A server-reported application error is wrapped
+// in appError.
+func (c *Client) exchange(pc *poolConn, f Frame) ([]byte, error) {
+	if err := pc.SetDeadline(time.Now().Add(c.retry.Timeout)); err != nil {
 		return nil, err
 	}
-	w := bufio.NewWriter(conn)
-	if err := WriteFrame(w, f); err != nil {
+	if err := WriteFrame(pc.bw, f); err != nil {
 		return nil, err
 	}
-	if err := w.Flush(); err != nil {
+	if err := pc.bw.Flush(); err != nil {
 		return nil, err
 	}
 	c.count(func(st *ClientStats) {
 		st.Attempts++
 		st.BytesOut += uint64(reqHeaderLen + len(f.Payload))
 	})
-	resp, err := ReadResponse(bufio.NewReader(conn))
+	resp, err := ReadResponseReuse(pc.br, &pc.rbuf)
 	if err != nil {
 		var sErr *ServerError
 		if errors.As(err, &sErr) {
@@ -314,18 +346,29 @@ func (c *Client) CreateShard(s int, mat uint32, rows, lo, hi int) error {
 // PullSparse reads the given columns of one row from server s. Columns must
 // lie inside the server's shard range.
 func (c *Client) PullSparse(s int, mat uint32, row int, cols []int) ([]float64, error) {
-	resp, err := c.Call(s, OpPullSparse, false, encodePullSparseReq(mat, row, cols))
-	if err != nil {
+	var out []float64
+	if err := c.PullSparseInto(s, mat, row, cols, &out); err != nil {
 		return nil, err
 	}
-	vals, err := decodeVals(resp)
-	if err != nil {
-		return nil, err
-	}
-	if len(vals) != len(cols) {
-		return nil, fmt.Errorf("wire: pulled %d values for %d columns", len(vals), len(cols))
-	}
-	return vals, nil
+	return out, nil
+}
+
+// PullSparseInto is PullSparse decoding into caller scratch: *valsBuf is
+// grown as needed and resized to len(cols). Steady-state calls with a warm
+// buffer allocate nothing beyond the pooled request payload.
+func (c *Client) PullSparseInto(s int, mat uint32, row int, cols []int, valsBuf *[]float64) error {
+	req := AppendPullSparseReq(arena.Bytes(0), mat, row, cols)
+	defer arena.PutBytes(req)
+	return c.callDecode(s, OpPullSparse, false, req, func(resp []byte) error {
+		vals, err := DecodeValsInto(resp, valsBuf)
+		if err != nil {
+			return err
+		}
+		if len(vals) != len(cols) {
+			return fmt.Errorf("wire: pulled %d values for %d columns", len(vals), len(cols))
+		}
+		return nil
+	})
 }
 
 // PushAdd adds sparse deltas into one row on server s, exactly once.
@@ -333,24 +376,37 @@ func (c *Client) PushAdd(s int, mat uint32, row int, cols []int, vals []float64)
 	if len(cols) != len(vals) {
 		return fmt.Errorf("wire: %d columns vs %d values", len(cols), len(vals))
 	}
-	_, err := c.Call(s, OpPushAdd, true, encodePushAdd(mat, row, cols, vals))
-	return err
+	req := AppendPushAdd(arena.Bytes(0), mat, row, cols, vals)
+	defer arena.PutBytes(req)
+	return c.callDecode(s, OpPushAdd, true, req, func([]byte) error { return nil })
 }
 
 // Fused runs an op program atomically on server s, exactly once.
 func (c *Client) Fused(s int, mat uint32, ops []FusedOp) error {
-	_, err := c.Call(s, OpFused, true, encodeFused(mat, ops))
-	return err
+	req := AppendFused(arena.Bytes(0), mat, ops)
+	defer arena.PutBytes(req)
+	return c.callDecode(s, OpFused, true, req, func([]byte) error { return nil })
 }
 
 // PullRange reads server s's whole stretch of one row, returning the range
 // start and the values.
 func (c *Client) PullRange(s int, mat uint32, row int) (lo int, vals []float64, err error) {
-	resp, err := c.Call(s, OpPullRange, false, encodePullRangeReq(mat, row))
-	if err != nil {
-		return 0, nil, err
-	}
-	return decodePullRangeResp(resp)
+	err = c.PullRangeInto(s, mat, row, &lo, &vals)
+	return lo, vals, err
+}
+
+// PullRangeInto is PullRange decoding into caller scratch.
+func (c *Client) PullRangeInto(s int, mat uint32, row int, lo *int, valsBuf *[]float64) error {
+	req := AppendPullRangeReq(arena.Bytes(0), mat, row)
+	defer arena.PutBytes(req)
+	return c.callDecode(s, OpPullRange, false, req, func(resp []byte) error {
+		l, _, err := DecodePullRangeRespInto(resp, valsBuf)
+		if err != nil {
+			return err
+		}
+		*lo = l
+		return nil
+	})
 }
 
 // ServerStats fetches server s's traffic counters.

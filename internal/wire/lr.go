@@ -161,6 +161,9 @@ func runLRLoop(st lrStore, ds *data.ClassifyDataset, cfg LRConfig) (*LRResult, e
 type wireStore struct {
 	c  *Client
 	pt *ps.Partitioner
+	// pullBufs is per-server PullSparseInto scratch, reused across
+	// iterations; slot s is only touched by server s's fan-out goroutine.
+	pullBufs [][]float64
 }
 
 func newWireStore(c *Client, dim int) (*wireStore, error) {
@@ -168,7 +171,7 @@ func newWireStore(c *Client, dim int) (*wireStore, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &wireStore{c: c, pt: pt}, nil
+	return &wireStore{c: c, pt: pt, pullBufs: make([][]float64, c.Servers())}, nil
 }
 
 // eachServer runs fn(s) concurrently for every server and returns the
@@ -223,14 +226,11 @@ func (st *wireStore) split(cols []int, vals []float64) (perCols [][]int, perVals
 
 func (st *wireStore) pullWeights(mat uint32, cols []int) (map[int]float64, error) {
 	perCols, _ := st.split(cols, nil)
-	got := make([][]float64, st.c.Servers())
 	err := st.eachServer(func(s int) error {
 		if len(perCols[s]) == 0 {
 			return nil
 		}
-		vals, err := st.c.PullSparse(s, mat, rowWeight, perCols[s])
-		got[s] = vals
-		return err
+		return st.c.PullSparseInto(s, mat, rowWeight, perCols[s], &st.pullBufs[s])
 	})
 	if err != nil {
 		return nil, err
@@ -238,7 +238,7 @@ func (st *wireStore) pullWeights(mat uint32, cols []int) (map[int]float64, error
 	w := make(map[int]float64, len(cols))
 	for s, sc := range perCols {
 		for i, c := range sc {
-			w[c] = got[s][i]
+			w[c] = st.pullBufs[s][i]
 		}
 	}
 	return w, nil

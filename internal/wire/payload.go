@@ -1,8 +1,13 @@
 package wire
 
 // Payload encodings for the PS operators, little-endian throughout. Each
-// operator has an append-style encoder and a cursor-style decoder; decoders
-// accumulate one sticky error so call sites check once at the end.
+// operator has an append-style encoder (Append*, writing into a caller
+// buffer so steady-state encoding allocates nothing) and a cursor-style
+// decoder; the hot-path decoders have *Into variants that reuse caller
+// scratch. Decoders accumulate one sticky error so call sites check once at
+// the end. The unexported encode*/decode* names are the legacy
+// fresh-allocation forms, kept as thin wrappers for call sites that are not
+// on the hot path.
 
 import (
 	"encoding/binary"
@@ -95,15 +100,38 @@ func (d *dec) vecLen() int {
 	return n
 }
 
+// growInts resizes *s to length n reusing its capacity, like grow for []byte.
+func growInts(s *[]int, n int) []int {
+	if cap(*s) < n {
+		*s = make([]int, n)
+	}
+	*s = (*s)[:n]
+	return *s
+}
+
+// growFloats resizes *s to length n reusing its capacity.
+func growFloats(s *[]float64, n int) []float64 {
+	if cap(*s) < n {
+		*s = make([]float64, n)
+	}
+	*s = (*s)[:n]
+	return *s
+}
+
 // --- CreateShard: mat, rows, [lo, hi) column range ---
 
-func encodeCreateShard(mat uint32, rows, lo, hi int) []byte {
-	var e enc
+// AppendCreateShard appends the CreateShard request payload to dst.
+func AppendCreateShard(dst []byte, mat uint32, rows, lo, hi int) []byte {
+	e := enc{b: dst}
 	e.u32(mat)
 	e.u32(uint32(rows))
 	e.u32(uint32(lo))
 	e.u32(uint32(hi))
 	return e.b
+}
+
+func encodeCreateShard(mat uint32, rows, lo, hi int) []byte {
+	return AppendCreateShard(nil, mat, rows, lo, hi)
 }
 
 func decodeCreateShard(p []byte) (mat uint32, rows, lo, hi int, err error) {
@@ -117,8 +145,9 @@ func decodeCreateShard(p []byte) (mat uint32, rows, lo, hi int, err error) {
 
 // --- PullSparse: request mat, row, cols; response vals (len = len(cols)) ---
 
-func encodePullSparseReq(mat uint32, row int, cols []int) []byte {
-	var e enc
+// AppendPullSparseReq appends the PullSparse request payload to dst.
+func AppendPullSparseReq(dst []byte, mat uint32, row int, cols []int) []byte {
+	e := enc{b: dst}
 	e.u32(mat)
 	e.u32(uint32(row))
 	e.u32(uint32(len(cols)))
@@ -128,13 +157,19 @@ func encodePullSparseReq(mat uint32, row int, cols []int) []byte {
 	return e.b
 }
 
-func decodePullSparseReq(p []byte) (mat uint32, row int, cols []int, err error) {
+func encodePullSparseReq(mat uint32, row int, cols []int) []byte {
+	return AppendPullSparseReq(nil, mat, row, cols)
+}
+
+// DecodePullSparseReqInto decodes a PullSparse request, reading the column
+// list into *colsBuf (grown as needed). The returned cols aliases *colsBuf.
+func DecodePullSparseReqInto(p []byte, colsBuf *[]int) (mat uint32, row int, cols []int, err error) {
 	d := dec{b: p}
 	mat = d.u32()
 	row = int(d.u32())
 	n := d.vecLen()
 	if d.err == nil {
-		cols = make([]int, n)
+		cols = growInts(colsBuf, n)
 		for i := range cols {
 			cols[i] = int(d.u32())
 		}
@@ -142,8 +177,14 @@ func decodePullSparseReq(p []byte) (mat uint32, row int, cols []int, err error) 
 	return mat, row, cols, d.done()
 }
 
-func encodeVals(vals []float64) []byte {
-	var e enc
+func decodePullSparseReq(p []byte) (mat uint32, row int, cols []int, err error) {
+	var buf []int
+	return DecodePullSparseReqInto(p, &buf)
+}
+
+// AppendVals appends a values-vector payload to dst.
+func AppendVals(dst []byte, vals []float64) []byte {
+	e := enc{b: dst}
 	e.u32(uint32(len(vals)))
 	for _, v := range vals {
 		e.f64(v)
@@ -151,12 +192,18 @@ func encodeVals(vals []float64) []byte {
 	return e.b
 }
 
-func decodeVals(p []byte) ([]float64, error) {
+func encodeVals(vals []float64) []byte {
+	return AppendVals(nil, vals)
+}
+
+// DecodeValsInto decodes a values-vector payload into *valsBuf (grown as
+// needed). The returned slice aliases *valsBuf.
+func DecodeValsInto(p []byte, valsBuf *[]float64) ([]float64, error) {
 	d := dec{b: p}
 	n := d.vecLen()
 	var vals []float64
 	if d.err == nil {
-		vals = make([]float64, n)
+		vals = growFloats(valsBuf, n)
 		for i := range vals {
 			vals[i] = d.f64()
 		}
@@ -164,10 +211,16 @@ func decodeVals(p []byte) ([]float64, error) {
 	return vals, d.done()
 }
 
+func decodeVals(p []byte) ([]float64, error) {
+	var buf []float64
+	return DecodeValsInto(p, &buf)
+}
+
 // --- PushAdd: mat, row, cols, vals; empty response ---
 
-func encodePushAdd(mat uint32, row int, cols []int, vals []float64) []byte {
-	var e enc
+// AppendPushAdd appends the PushAdd request payload to dst.
+func AppendPushAdd(dst []byte, mat uint32, row int, cols []int, vals []float64) []byte {
+	e := enc{b: dst}
 	e.u32(mat)
 	e.u32(uint32(row))
 	e.u32(uint32(len(cols)))
@@ -180,22 +233,34 @@ func encodePushAdd(mat uint32, row int, cols []int, vals []float64) []byte {
 	return e.b
 }
 
-func decodePushAdd(p []byte) (mat uint32, row int, cols []int, vals []float64, err error) {
+func encodePushAdd(mat uint32, row int, cols []int, vals []float64) []byte {
+	return AppendPushAdd(nil, mat, row, cols, vals)
+}
+
+// DecodePushAddInto decodes a PushAdd request reusing the caller's column
+// and value scratch. The returned slices alias the scratch.
+func DecodePushAddInto(p []byte, colsBuf *[]int, valsBuf *[]float64) (mat uint32, row int, cols []int, vals []float64, err error) {
 	d := dec{b: p}
 	mat = d.u32()
 	row = int(d.u32())
 	n := d.vecLen()
 	if d.err == nil {
-		cols = make([]int, n)
+		cols = growInts(colsBuf, n)
 		for i := range cols {
 			cols[i] = int(d.u32())
 		}
-		vals = make([]float64, n)
+		vals = growFloats(valsBuf, n)
 		for i := range vals {
 			vals[i] = d.f64()
 		}
 	}
 	return mat, row, cols, vals, d.done()
+}
+
+func decodePushAdd(p []byte) (mat uint32, row int, cols []int, vals []float64, err error) {
+	var cbuf []int
+	var vbuf []float64
+	return DecodePushAddInto(p, &cbuf, &vbuf)
 }
 
 // --- Fused: mat + op program; empty response ---
@@ -217,8 +282,9 @@ type FusedOp struct {
 	Scale    float64 // FAxpy, FScale
 }
 
-func encodeFused(mat uint32, ops []FusedOp) []byte {
-	var e enc
+// AppendFused appends the Fused request payload to dst.
+func AppendFused(dst []byte, mat uint32, ops []FusedOp) []byte {
+	e := enc{b: dst}
 	e.u32(mat)
 	e.u32(uint32(len(ops)))
 	for _, op := range ops {
@@ -238,10 +304,17 @@ func encodeFused(mat uint32, ops []FusedOp) []byte {
 	return e.b
 }
 
-func decodeFused(p []byte) (mat uint32, ops []FusedOp, err error) {
+func encodeFused(mat uint32, ops []FusedOp) []byte {
+	return AppendFused(nil, mat, ops)
+}
+
+// DecodeFusedInto decodes a Fused request program into *opsBuf (reused,
+// grown as needed). The returned ops alias the scratch.
+func DecodeFusedInto(p []byte, opsBuf *[]FusedOp) (mat uint32, ops []FusedOp, err error) {
 	d := dec{b: p}
 	mat = d.u32()
 	n := d.vecLen()
+	ops = (*opsBuf)[:0]
 	for i := 0; i < n && d.err == nil; i++ {
 		var op FusedOp
 		op.Kind = d.byte()
@@ -260,16 +333,31 @@ func decodeFused(p []byte) (mat uint32, ops []FusedOp, err error) {
 		}
 		ops = append(ops, op)
 	}
+	*opsBuf = ops
 	return mat, ops, d.done()
+}
+
+func decodeFused(p []byte) (mat uint32, ops []FusedOp, err error) {
+	var buf []FusedOp
+	mat, ops, err = DecodeFusedInto(p, &buf)
+	if len(ops) == 0 {
+		ops = nil
+	}
+	return mat, ops, err
 }
 
 // --- PullRange: request mat, row; response lo, vals (the shard's stretch) ---
 
-func encodePullRangeReq(mat uint32, row int) []byte {
-	var e enc
+// AppendPullRangeReq appends the PullRange request payload to dst.
+func AppendPullRangeReq(dst []byte, mat uint32, row int) []byte {
+	e := enc{b: dst}
 	e.u32(mat)
 	e.u32(uint32(row))
 	return e.b
+}
+
+func encodePullRangeReq(mat uint32, row int) []byte {
+	return AppendPullRangeReq(nil, mat, row)
 }
 
 func decodePullRangeReq(p []byte) (mat uint32, row int, err error) {
@@ -279,8 +367,9 @@ func decodePullRangeReq(p []byte) (mat uint32, row int, err error) {
 	return mat, row, d.done()
 }
 
-func encodePullRangeResp(lo int, vals []float64) []byte {
-	var e enc
+// AppendPullRangeResp appends the PullRange response payload to dst.
+func AppendPullRangeResp(dst []byte, lo int, vals []float64) []byte {
+	e := enc{b: dst}
 	e.u32(uint32(lo))
 	e.u32(uint32(len(vals)))
 	for _, v := range vals {
@@ -289,17 +378,28 @@ func encodePullRangeResp(lo int, vals []float64) []byte {
 	return e.b
 }
 
-func decodePullRangeResp(p []byte) (lo int, vals []float64, err error) {
+func encodePullRangeResp(lo int, vals []float64) []byte {
+	return AppendPullRangeResp(nil, lo, vals)
+}
+
+// DecodePullRangeRespInto decodes a PullRange response reusing the caller's
+// value scratch. The returned vals alias *valsBuf.
+func DecodePullRangeRespInto(p []byte, valsBuf *[]float64) (lo int, vals []float64, err error) {
 	d := dec{b: p}
 	lo = int(d.u32())
 	n := d.vecLen()
 	if d.err == nil {
-		vals = make([]float64, n)
+		vals = growFloats(valsBuf, n)
 		for i := range vals {
 			vals[i] = d.f64()
 		}
 	}
 	return lo, vals, d.done()
+}
+
+func decodePullRangeResp(p []byte) (lo int, vals []float64, err error) {
+	var buf []float64
+	return DecodePullRangeRespInto(p, &buf)
 }
 
 // --- Stats: empty request; response is the server's counters ---

@@ -13,7 +13,23 @@ import (
 	"fmt"
 	"net"
 	"sync"
+
+	"repro/internal/linalg"
 )
+
+// connScratch is per-connection reusable buffers: the frame payload, decode
+// scratch for the operator arguments, and the response encode buffer. One
+// connection serves one frame at a time, so the scratch never overlaps
+// between requests; everything in it is only valid until the next frame.
+// Responses that outlive the request (the dedup cache) are copied out in
+// handle before being stored.
+type connScratch struct {
+	payload []byte    // frame payload (ReadFrameReuse target)
+	cols    []int     // decoded column lists
+	vals    []float64 // decoded / assembled value vectors
+	ops     []FusedOp // decoded fused programs
+	resp    []byte    // response payload encode buffer
+}
 
 // ServerStats counts a server's request traffic. Bytes are payload+header
 // bytes actually read from and written to sockets.
@@ -148,12 +164,13 @@ func (s *Server) serveConn(conn net.Conn) {
 	}()
 	r := bufio.NewReader(conn)
 	w := bufio.NewWriter(conn)
+	var sc connScratch
+	var f Frame
 	for {
-		f, err := ReadFrame(r)
-		if err != nil {
+		if err := ReadFrameReuse(r, &f, &sc.payload); err != nil {
 			return // peer hung up or spoke garbage; drop the connection
 		}
-		resp, appErr := s.handle(f)
+		resp, appErr := s.handle(f, &sc)
 		if err := WriteResponse(w, resp, appErr); err != nil {
 			return
 		}
@@ -172,9 +189,11 @@ func (s *Server) serveConn(conn net.Conn) {
 }
 
 // handle executes one frame under the store mutex and returns the response
-// payload. Mutating frames are filtered through the applied-set first: a
-// duplicate request ID replays the cached response without touching state.
-func (s *Server) handle(f Frame) (resp []byte, appErr error) {
+// payload (possibly aliasing sc's scratch — valid until the next frame on
+// this connection). Mutating frames are filtered through the applied-set
+// first: a duplicate request ID replays the cached response without touching
+// state.
+func (s *Server) handle(f Frame, sc *connScratch) (resp []byte, appErr error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.stats.Requests++
@@ -194,9 +213,16 @@ func (s *Server) handle(f Frame) (resp []byte, appErr error) {
 		}
 	}
 
-	resp, appErr = s.apply(f)
+	resp, appErr = s.apply(f, sc)
 	if appErr == nil && f.Mutates() && f.ReqID != 0 {
-		s.applied[f.ReqID] = resp
+		// The response may alias connection scratch that the next frame will
+		// overwrite; the dedup cache needs its own copy (arena rule: never
+		// retain an aliased buffer).
+		cached := resp
+		if len(resp) > 0 {
+			cached = append([]byte(nil), resp...)
+		}
+		s.applied[f.ReqID] = cached
 	}
 	return resp, appErr
 }
@@ -216,7 +242,7 @@ func (sh *shardStore) row(r int) ([]float64, error) {
 	return sh.data[r], nil
 }
 
-func (s *Server) apply(f Frame) ([]byte, error) {
+func (s *Server) apply(f Frame, sc *connScratch) ([]byte, error) {
 	switch f.Op {
 	case OpPing:
 		return f.Payload, nil
@@ -243,7 +269,7 @@ func (s *Server) apply(f Frame) ([]byte, error) {
 		return nil, nil
 
 	case OpPullSparse:
-		mat, row, cols, err := decodePullSparseReq(f.Payload)
+		mat, row, cols, err := DecodePullSparseReqInto(f.Payload, &sc.cols)
 		if err != nil {
 			return nil, err
 		}
@@ -255,17 +281,18 @@ func (s *Server) apply(f Frame) ([]byte, error) {
 		if err != nil {
 			return nil, err
 		}
-		vals := make([]float64, len(cols))
+		vals := growFloats(&sc.vals, len(cols))
 		for i, c := range cols {
 			if c < sh.lo || c >= sh.hi {
 				return nil, fmt.Errorf("wire: column %d outside shard [%d,%d)", c, sh.lo, sh.hi)
 			}
 			vals[i] = data[c-sh.lo]
 		}
-		return encodeVals(vals), nil
+		sc.resp = AppendVals(sc.resp[:0], vals)
+		return sc.resp, nil
 
 	case OpPushAdd:
-		mat, row, cols, vals, err := decodePushAdd(f.Payload)
+		mat, row, cols, vals, err := DecodePushAddInto(f.Payload, &sc.cols, &sc.vals)
 		if err != nil {
 			return nil, err
 		}
@@ -286,7 +313,7 @@ func (s *Server) apply(f Frame) ([]byte, error) {
 		return nil, nil
 
 	case OpFused:
-		mat, ops, err := decodeFused(f.Payload)
+		mat, ops, err := DecodeFusedInto(f.Payload, &sc.ops)
 		if err != nil {
 			return nil, err
 		}
@@ -311,23 +338,17 @@ func (s *Server) apply(f Frame) ([]byte, error) {
 				}
 			}
 		}
+		// The linalg kernels fan wide rows out over the shared worker pool
+		// (shard-parallel apply); their fixed chunked order keeps results
+		// bit-identical to the serial loops they replaced.
 		for _, op := range ops {
 			switch op.Kind {
 			case FAxpy:
-				dst, src := sh.data[op.Dst], sh.data[op.Src]
-				for i := range dst {
-					dst[i] += op.Scale * src[i]
-				}
+				linalg.Axpy(op.Scale, sh.data[op.Src], sh.data[op.Dst])
 			case FZero:
-				row := sh.data[op.Row]
-				for i := range row {
-					row[i] = 0
-				}
+				linalg.Fill(sh.data[op.Row], 0)
 			case FScale:
-				row := sh.data[op.Row]
-				for i := range row {
-					row[i] *= op.Scale
-				}
+				linalg.Scale(op.Scale, sh.data[op.Row])
 			}
 		}
 		return nil, nil
@@ -345,9 +366,10 @@ func (s *Server) apply(f Frame) ([]byte, error) {
 		if err != nil {
 			return nil, err
 		}
-		out := make([]float64, len(data))
-		copy(out, data)
-		return encodePullRangeResp(sh.lo, out), nil
+		// Encode straight from shard memory (still under s.mu); the old
+		// intermediate copy bought nothing.
+		sc.resp = AppendPullRangeResp(sc.resp[:0], sh.lo, data)
+		return sc.resp, nil
 
 	case OpStats:
 		return encodeStatsResp(s.stats), nil

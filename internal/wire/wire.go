@@ -127,32 +127,60 @@ func WriteFrame(w io.Writer, f Frame) error {
 	return err
 }
 
-// ReadFrame decodes one request from r.
+// ReadFrame decodes one request from r, allocating a fresh payload.
 func ReadFrame(r io.Reader) (Frame, error) {
-	var h [reqHeaderLen]byte
-	if _, err := io.ReadFull(r, h[:]); err != nil {
-		return Frame{}, err
+	var f Frame
+	err := ReadFrameReuse(r, &f, nil)
+	return f, err
+}
+
+// ReadFrameReuse decodes one request from r into *f. When buf is non-nil the
+// payload is read into *buf (grown as needed) and f.Payload aliases it, so a
+// connection loop can reuse one buffer across frames instead of allocating
+// per frame; the payload is only valid until the next ReadFrameReuse with the
+// same buf. With a nil buf it behaves like ReadFrame.
+func ReadFrameReuse(r io.Reader, f *Frame, buf *[]byte) error {
+	// Read the header through the reuse buffer: a local array would escape
+	// through the io.ReadFull interface call and cost an allocation per
+	// frame. The payload read below overwrites it — header fields are parsed
+	// into f first.
+	if buf == nil {
+		buf = new([]byte)
+	}
+	h := grow(buf, reqHeaderLen)
+	if _, err := io.ReadFull(r, h); err != nil {
+		return err
 	}
 	if m := binary.LittleEndian.Uint16(h[0:]); m != Magic {
-		return Frame{}, fmt.Errorf("wire: bad magic %#x", m)
+		return fmt.Errorf("wire: bad magic %#x", m)
 	}
 	plen := binary.LittleEndian.Uint32(h[20:])
 	if plen > MaxPayload {
-		return Frame{}, fmt.Errorf("wire: payload %d exceeds cap %d", plen, MaxPayload)
+		return fmt.Errorf("wire: payload %d exceeds cap %d", plen, MaxPayload)
 	}
-	f := Frame{
-		Op:      h[2],
-		Flags:   h[3],
-		ReqID:   binary.LittleEndian.Uint64(h[4:]),
-		AckedTo: binary.LittleEndian.Uint64(h[12:]),
-	}
+	f.Op = h[2]
+	f.Flags = h[3]
+	f.ReqID = binary.LittleEndian.Uint64(h[4:])
+	f.AckedTo = binary.LittleEndian.Uint64(h[12:])
+	f.Payload = nil
 	if plen > 0 {
-		f.Payload = make([]byte, plen)
-		if _, err := io.ReadFull(r, f.Payload); err != nil {
-			return Frame{}, err
+		p := grow(buf, int(plen))
+		if _, err := io.ReadFull(r, p); err != nil {
+			return err
 		}
+		f.Payload = p
 	}
-	return f, nil
+	return nil
+}
+
+// grow resizes *buf to length n, reallocating only when capacity is short,
+// and returns the sized slice.
+func grow(buf *[]byte, n int) []byte {
+	if cap(*buf) < n {
+		*buf = make([]byte, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
 }
 
 // WriteResponse serializes one response onto w. A nil appErr sends status 0
@@ -177,27 +205,42 @@ func WriteResponse(w io.Writer, payload []byte, appErr error) error {
 	return err
 }
 
-// ReadResponse decodes one response from r. A status-1 frame returns
-// (nil, application error); transport failures return the IO error.
+// ReadResponse decodes one response from r, allocating a fresh payload. A
+// status-1 frame returns (nil, application error); transport failures return
+// the IO error.
 func ReadResponse(r io.Reader) ([]byte, error) {
-	var h [respHeaderLen]byte
-	if _, err := io.ReadFull(r, h[:]); err != nil {
+	return ReadResponseReuse(r, nil)
+}
+
+// ReadResponseReuse decodes one response from r. When buf is non-nil the
+// payload is read into *buf (grown as needed) and the returned slice aliases
+// it — valid only until the next read into the same buf; callers that keep
+// the payload must copy it out. With a nil buf it behaves like ReadResponse.
+func ReadResponseReuse(r io.Reader, buf *[]byte) ([]byte, error) {
+	// Same header-through-buffer trick as ReadFrameReuse: a local array
+	// escapes via the io.ReadFull interface call.
+	if buf == nil {
+		buf = new([]byte)
+	}
+	h := grow(buf, respHeaderLen)
+	if _, err := io.ReadFull(r, h); err != nil {
 		return nil, err
 	}
 	if m := binary.LittleEndian.Uint16(h[0:]); m != Magic {
 		return nil, fmt.Errorf("wire: bad magic %#x", m)
 	}
 	plen := binary.LittleEndian.Uint32(h[4:])
+	status := h[2]
 	if plen > MaxPayload {
 		return nil, fmt.Errorf("wire: response payload %d exceeds cap %d", plen, MaxPayload)
 	}
-	payload := make([]byte, plen)
+	payload := grow(buf, int(plen))
 	if plen > 0 {
 		if _, err := io.ReadFull(r, payload); err != nil {
 			return nil, err
 		}
 	}
-	if h[2] != 0 {
+	if status != 0 {
 		return nil, &ServerError{Msg: string(payload)}
 	}
 	return payload, nil

@@ -9,6 +9,7 @@
 #
 #   BENCH_ELASTIC.json   the ext-elastic elastic-membership experiment
 #   BENCH_SERVE.json     the ext-serve online-serving-tier experiment
+#   BENCH_HOTPATH.json   the ext-hotpath allocation-trajectory experiment
 #   BENCH_BASELINE.json  every registered experiment (the baseline suite)
 #
 # Usage: scripts/bench_snapshot.sh [output-dir]   (default: repo root)
@@ -19,6 +20,7 @@ out="${1:-.}"
 
 go run ./cmd/ps2bench -exp ext-elastic -quick -json "$out/BENCH_ELASTIC.json" >/dev/null
 go run ./cmd/ps2bench -exp ext-serve -quick -json "$out/BENCH_SERVE.json" >/dev/null
+go run ./cmd/ps2bench -exp ext-hotpath -quick -json "$out/BENCH_HOTPATH.json" >/dev/null
 go run ./cmd/ps2bench -all -quick -json "$out/BENCH_BASELINE.json" >/dev/null
 
-echo "snapshots written to $out/BENCH_ELASTIC.json, $out/BENCH_SERVE.json and $out/BENCH_BASELINE.json"
+echo "snapshots written to $out/BENCH_ELASTIC.json, $out/BENCH_SERVE.json, $out/BENCH_HOTPATH.json and $out/BENCH_BASELINE.json"

@@ -41,6 +41,18 @@ go test -race -timeout 20m ./...
 # in the suite above; this line keeps the CLI path itself from rotting.
 go run ./cmd/ps2bench -exp ext-serve -quick >/dev/null
 
+# Hot-path allocation contract, re-run WITHOUT the race detector: the
+# zero-alloc guards promise exact counts in the instrumentation-free build
+# that production runs, and -race (above) measures the instrumented build.
+go test -count=1 -run 'ZeroAlloc|TestExtHotpathShape' ./internal/wire/ ./internal/linalg/ ./internal/bench/
+
 # Benchmark smoke gate: every benchmark in the repo must still run to
 # completion (one iteration each) so `make bench` cannot rot unnoticed.
 go test -run XXX -bench . -benchtime 1x ./...
+
+# Wall-clock regression gate, opt-in (noisy on shared runners): compare the
+# hot-path benchmarks against a baseline ref and fail on >10% ns/op drift.
+#   BENCH_COMPARE=1 [BENCH_BASELINE=<ref>] scripts/check.sh
+if [ "${BENCH_COMPARE:-0}" = "1" ]; then
+	./scripts/bench_compare.sh "${BENCH_BASELINE:-HEAD}"
+fi
