@@ -152,6 +152,40 @@ func TestExtCacheShape(t *testing.T) {
 	}
 }
 
+// TestExtConsistencyShape pins the policy ablation's acceptance bars: the
+// explicit clock-bounded policy arm is bit-identical to the legacy Staleness
+// arm (the refactor-exactness gate check.sh's smoke rides on), and the
+// value-bounded b=1 arm pulls at least 25% fewer bytes than clock s=2 while
+// staying within 5% of its final loss.
+func TestExtConsistencyShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape checks run full experiments")
+	}
+	res := runExtConsistency(Opts{Quick: true})
+	rows := map[string][]string{}
+	for _, row := range res.Rows {
+		rows[row[0]] = row
+	}
+	legacy, explicit, value := rows["clock s=2 (legacy field)"], rows["clock s=2 (explicit policy)"], rows["value b=1"]
+	if legacy == nil || explicit == nil || value == nil {
+		t.Fatalf("missing arms in %v", res.Rows)
+	}
+	for i := range legacy[1:] {
+		if legacy[1+i] != explicit[1+i] {
+			t.Fatalf("explicit clock policy diverged from legacy Staleness field at column %d: %v vs %v",
+				1+i, legacy, explicit)
+		}
+	}
+	vPulled, cPulled := parseNum(t, value[4]), parseNum(t, legacy[4])
+	if vPulled > 0.75*cPulled {
+		t.Fatalf("value b=1 pulled %v MB vs clock s=2 %v MB; want >= 25%% reduction", vPulled, cPulled)
+	}
+	vLoss, cLoss := parseNum(t, value[9]), parseNum(t, legacy[9])
+	if gap := (vLoss - cLoss) / cLoss; gap > 0.05 || gap < -0.05 {
+		t.Fatalf("value b=1 loss %v vs clock s=2 %v: gap beyond 5%%", vLoss, cLoss)
+	}
+}
+
 func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"fig1a", "fig1b", "table1", "table2", "table3", "table4",
@@ -163,7 +197,7 @@ func TestRegistryComplete(t *testing.T) {
 		"ablation-checkpoint",
 		"ext-treeagg", "ext-mllibstar", "ext-ssp", "ext-fm", "ext-node2vec",
 		"ext-recovery", "ext-chaos", "ext-fusion", "ext-cache", "ext-skew",
-		"ext-elastic", "ext-wire", "ext-serve", "ext-hotpath",
+		"ext-elastic", "ext-wire", "ext-serve", "ext-hotpath", "ext-consistency",
 	}
 	for _, id := range want {
 		if _, ok := ByID(id); !ok {

@@ -1,0 +1,172 @@
+package consistency
+
+import (
+	"math"
+	"testing"
+)
+
+// TestClockBoundedMatchesLegacyComparison pins the exact inequality the
+// cache, replica and SSP layers used to inline: serve iff
+// current-cached <= staleness. The refactor's bit-identity rests on this.
+func TestClockBoundedMatchesLegacyComparison(t *testing.T) {
+	for _, staleness := range []int{0, 1, 2, 5} {
+		pol := NewClockBounded(staleness)
+		if pol.UsesDeltas() {
+			t.Fatal("ClockBounded must not request delta accounting")
+		}
+		for cached := int64(0); cached <= 10; cached++ {
+			for cur := cached; cur <= cached+8; cur++ {
+				want := Revalidate
+				if cur-cached <= int64(staleness) {
+					want = ServeCached
+				}
+				m := Meta{CachedClock: cached, CurrentClock: cur, Pushed: 99, Drift: math.Inf(1)}
+				if got := pol.Admit(m); got != want {
+					t.Fatalf("staleness %d, cached %d, cur %d: got %v want %v",
+						staleness, cached, cur, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestClockBoundedClampsNegativeStaleness(t *testing.T) {
+	pol := NewClockBounded(-3)
+	if pol.Staleness != 0 {
+		t.Fatalf("negative staleness should clamp to 0, got %d", pol.Staleness)
+	}
+}
+
+// TestValueBoundedThresholds pins the three-way verdict: local pushes past
+// the bound hard-pull, pushes+drift past it revalidate, anything else serves.
+func TestValueBoundedThresholds(t *testing.T) {
+	pol := NewValueBounded(1.0)
+	if !pol.UsesDeltas() {
+		t.Fatal("ValueBounded must request delta accounting")
+	}
+	cases := []struct {
+		pushed, drift float64
+		want          Decision
+	}{
+		{0, 0, ServeCached},
+		{0.5, 0.4, ServeCached},
+		{1.0, 0, ServeCached}, // at the bound, not past it
+		{0.5, 0.6, Revalidate},
+		{0, math.Inf(1), Revalidate}, // unknown drift: must check
+		{1.1, 0, HardPull},
+		{2, math.Inf(1), HardPull}, // local deltas dominate: stamp can't match
+	}
+	for _, c := range cases {
+		m := Meta{CachedClock: 3, CurrentClock: 100, Pushed: c.pushed, Drift: c.drift}
+		if got := pol.Admit(m); got != c.want {
+			t.Fatalf("pushed %g drift %g: got %v want %v", c.pushed, c.drift, got, c.want)
+		}
+	}
+	// Age alone never matters to a value-bounded policy.
+	old := Meta{CachedClock: 0, CurrentClock: 1 << 30}
+	if got := pol.Admit(old); got != ServeCached {
+		t.Fatalf("age without deltas should serve, got %v", got)
+	}
+}
+
+// TestAdaptiveBoundBreathes checks the tighten-early/relax-late shape: large
+// observed magnitudes shrink the effective bound, shrinking magnitudes let
+// it recover toward the base.
+func TestAdaptiveBoundBreathes(t *testing.T) {
+	pol := NewAdaptive(0.1)
+	if pol.EffectiveBound() != 0.1 {
+		t.Fatalf("unseeded effective bound should equal base, got %g", pol.EffectiveBound())
+	}
+	pol.ObserveDelta(1.0) // big early gradient
+	tight := pol.EffectiveBound()
+	if tight >= 0.1 {
+		t.Fatalf("large magnitudes must tighten the bound: eff %g", tight)
+	}
+	for i := 0; i < 50; i++ {
+		pol.ObserveDelta(1e-6) // converged
+	}
+	relaxed := pol.EffectiveBound()
+	if relaxed <= tight || relaxed > 0.1 {
+		t.Fatalf("small magnitudes must relax toward base: tight %g relaxed %g", tight, relaxed)
+	}
+	st := pol.Stats()
+	if st.Tightenings == 0 || st.Relaxations == 0 {
+		t.Fatalf("both directions should be counted: %+v", st)
+	}
+	if st.Observations != 51 {
+		t.Fatalf("want 51 observations, got %d", st.Observations)
+	}
+}
+
+// TestAdaptiveDeterminism is the golden-trace discipline applied to the
+// adaptive policy: the same observation trajectory must produce
+// byte-identical effective bounds, decisions and counters across two
+// independent instances.
+func TestAdaptiveDeterminism(t *testing.T) {
+	trajectory := make([]float64, 0, 400)
+	x := uint64(42) // fixed-seed xorshift magnitude stream, decaying like a loss curve
+	for i := 0; i < 400; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		mag := float64(x%1000) / 1000.0 / (1.0 + float64(i)/40.0)
+		trajectory = append(trajectory, mag)
+	}
+	run := func() (*Adaptive, []Decision) {
+		pol := NewAdaptive(0.05)
+		var decisions []Decision
+		for i, mag := range trajectory {
+			pol.ObserveDelta(mag)
+			m := Meta{
+				CachedClock:  int64(i),
+				CurrentClock: int64(i + 1 + i%3),
+				Pushed:       mag / 2,
+				Drift:        mag / 3,
+			}
+			decisions = append(decisions, pol.Admit(m))
+		}
+		return pol, decisions
+	}
+	p1, d1 := run()
+	p2, d2 := run()
+	if p1.Stats() != p2.Stats() {
+		t.Fatalf("counters diverged: %+v vs %+v", p1.Stats(), p2.Stats())
+	}
+	if math.Float64bits(p1.EffectiveBound()) != math.Float64bits(p2.EffectiveBound()) {
+		t.Fatalf("effective bound diverged: %v vs %v", p1.EffectiveBound(), p2.EffectiveBound())
+	}
+	for i := range d1 {
+		if d1[i] != d2[i] {
+			t.Fatalf("decision %d diverged: %v vs %v", i, d1[i], d2[i])
+		}
+	}
+}
+
+// TestDriftEstimateEdges pins the two corner cases that would otherwise
+// produce NaN (0 × Inf) or spurious revalidation.
+func TestDriftEstimateEdges(t *testing.T) {
+	if d := DriftEstimate(UnknownRate(), 0); d != 0 {
+		t.Fatalf("zero elapsed must mean zero drift even for unknown rate, got %g", d)
+	}
+	if d := DriftEstimate(UnknownRate(), 3); !math.IsInf(d, 1) {
+		t.Fatalf("unknown rate over positive elapsed must stay unknown, got %g", d)
+	}
+	if d := DriftEstimate(0.5, 4); d != 2.0 {
+		t.Fatalf("rate×elapsed: got %g", d)
+	}
+}
+
+func TestBlendRate(t *testing.T) {
+	// First observation replaces the unknown seed outright.
+	if r := BlendRate(UnknownRate(), 1.0, 2); r != 0.5 {
+		t.Fatalf("first observation should assign directly, got %g", r)
+	}
+	// Later observations blend 3:1.
+	if r := BlendRate(1.0, 0, 1); r != 0.75 {
+		t.Fatalf("unchanged observation should decay the rate, got %g", r)
+	}
+	// No interval, no information.
+	if r := BlendRate(1.0, 5.0, 0); r != 1.0 {
+		t.Fatalf("zero elapsed must not move the rate, got %g", r)
+	}
+}

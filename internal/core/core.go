@@ -15,6 +15,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/dcv"
 	"repro/internal/obs"
+	"repro/internal/par"
 	"repro/internal/ps"
 	"repro/internal/rdd"
 	"repro/internal/simnet"
@@ -320,6 +321,24 @@ func (e *Engine) Snapshot() obs.Snapshot {
 			FlushBaseMB:    e.PS.Cache.FlushBaselineBytes / mb,
 		},
 	}
+	cons := e.PS.ConsistencyReport()
+	s.Consistency = obs.ConsistencySnapshot{
+		Policy:         cons.Policy,
+		ServedCached:   cons.ServedCached,
+		Revalidated:    cons.Revalidated,
+		HardPulled:     cons.HardPulled,
+		Tightenings:    cons.Tightenings,
+		Relaxations:    cons.Relaxations,
+		EffectiveBound: cons.EffectiveBound,
+	}
+	pst := par.PoolStats()
+	s.Par = obs.ParSnapshot{
+		Calls:    pst.Calls,
+		Inline:   pst.Inline,
+		Parallel: pst.Parallel,
+		WidthSum: pst.WidthSum,
+		MaxWidth: pst.MaxWidth,
+	}
 	if c := e.Sim.Chaos(); c != nil {
 		s.Net.MessagesLost = c.MessagesLost
 	}
@@ -488,4 +507,3 @@ func SortedTimes(traces ...*Trace) []float64 {
 	sort.Float64s(out)
 	return out
 }
-

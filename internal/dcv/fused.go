@@ -64,7 +64,9 @@ type fusedOp struct {
 	workPerElem float64
 	mutates     bool
 	// rows lists the matrix rows a mutating op writes, forwarded as the
-	// fused request's dirty-row declaration (ps.InvokeOp.DirtyRows).
+	// fused request's dirty-row declaration (ps.InvokeOp.DirtyRows), which
+	// both scopes version stamping and keeps the consistency layer's
+	// per-row drift watermarks exact (ps/versions.go).
 	rows   []int
 	scalar *Scalar
 	run    func(s int, sh *ps.Shard) float64

@@ -73,7 +73,10 @@ type Config struct {
 	// with cheap version stamps) and the per-pair delta pushes accumulate in
 	// a write-combining buffer flushed once per partition. Pending deltas are
 	// merged into pulled rows (read-your-writes), so a worker's own updates
-	// stay visible between flushes. Ignored in ModeDCV, whose updates already
+	// stay visible between flushes. Value-bounded / adaptive cache policies
+	// (Cache.Policy) need no extra wiring here: the combined pushes target the
+	// very rows the cache holds, so the buffer's flush credits pending-delta
+	// accounting automatically. Ignored in ModeDCV, whose updates already
 	// ride fused server-side programs.
 	Cache *ps.CacheConfig
 	Seed  uint64
@@ -299,9 +302,9 @@ type dcvWorker struct {
 	// within one step (parts, dots) and per-shard update scratch reset on Fn
 	// entry (du, dcIdx/dcVal) need only one generation.
 	parity int
-	gs     [2][]float64  // gradient scalars, captured by the update op
+	gs     [2][]float64   // gradient scalars, captured by the update op
 	ops    [2]ps.InvokeOp // update-op storage behind dw.pending
-	parts  [][]float64   // per-server dot partials; slot s written by server s only
+	parts  [][]float64    // per-server dot partials; slot s written by server s only
 	dots   []float64
 	fused  []ps.InvokeOp // 2-op program buffer for the fused request
 	du     []float64     // update scratch: center-row delta, reset at Fn start

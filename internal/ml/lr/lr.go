@@ -300,6 +300,21 @@ func Train(p *simnet.Proc, e *core.Engine, dataset *rdd.RDD[data.Instance], dim 
 			if err != nil {
 				panic(err)
 			}
+			// Value-bounded accounting: the push below targets the GRAD
+			// row, but the row the cache holds is the WEIGHT row, whose
+			// eventual change is the optimizer step over this gradient.
+			// Credit the cache with the SGD-flavored estimate lr·|g|/batch
+			// so value-bounded and adaptive policies see a per-element
+			// magnitude signal; skipped entirely under the default
+			// clock-bounded policy.
+			if cache != nil && cache.Policy().UsesDeltas() {
+				mags := make([]float64, len(gv))
+				scale := cfg.LearningRate / float64(len(rows))
+				for k, v := range gv {
+					mags[k] = scale * v
+				}
+				cache.CreditPush(tc.Node, weight.Row(), gi, mags)
+			}
 			if gradBufs != nil {
 				// Write combining: the delta merges host-side into the
 				// executor's buffer; the wire cost is paid at flush.

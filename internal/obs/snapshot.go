@@ -15,15 +15,74 @@ type Snapshot struct {
 	WallSec float64 // virtual time at which the job finished
 	Events  uint64  // simulation events processed
 
-	Net       NetSnapshot
-	Recovery  RecoverySnapshot
-	Fusion    FusionSnapshot
-	Cache     CacheSnapshot
-	Load      LoadSnapshot
-	Migration MigrationSnapshot
-	Serve     ServeSnapshot
-	Phases    PhaseSnapshot
+	Net         NetSnapshot
+	Recovery    RecoverySnapshot
+	Fusion      FusionSnapshot
+	Cache       CacheSnapshot
+	Consistency ConsistencySnapshot
+	Load        LoadSnapshot
+	Migration   MigrationSnapshot
+	Serve       ServeSnapshot
+	Par         ParSnapshot
+	Phases      PhaseSnapshot
 }
+
+// ConsistencySnapshot is the freshness-decision view, mirroring
+// ps.ConsistencyStats: per-value verdicts issued by the consistency policy
+// across the cache, replica and serving layers, plus the adaptive policy's
+// bound movements. All fields are zero when no policy-decided layer ran.
+type ConsistencySnapshot struct {
+	Policy string // governing policy name ("clock", "value", "adaptive")
+
+	ServedCached uint64 // values served locally on a policy verdict
+	Revalidated  uint64 // values revalidated if-modified-since
+	HardPulled   uint64 // values refetched outright (stamp could not match)
+
+	Tightenings    uint64  // adaptive effective-bound shrinks
+	Relaxations    uint64  // adaptive effective-bound growths
+	EffectiveBound float64 // adaptive bound at snapshot time (0 when none)
+}
+
+// Decisions returns the total policy verdicts issued.
+func (c ConsistencySnapshot) Decisions() uint64 {
+	return c.ServedCached + c.Revalidated + c.HardPulled
+}
+
+// ServeRate returns the fraction of verdicts that served without any owner
+// traffic.
+func (c ConsistencySnapshot) ServeRate() float64 {
+	if c.Decisions() == 0 {
+		return 0
+	}
+	return float64(c.ServedCached) / float64(c.Decisions())
+}
+
+// Active reports whether any policy verdict was issued.
+func (c ConsistencySnapshot) Active() bool { return c.Decisions() > 0 }
+
+// ParSnapshot is the host-parallelism view, mirroring the internal/par pool
+// counters: how many Range/Reduce calls ran, how many went inline versus
+// fanned out, and the row widths observed — the evidence behind the
+// MinParallel threshold (ROADMAP item 2). Counters only; nothing here feeds
+// back into behavior.
+type ParSnapshot struct {
+	Calls    uint64 // Range/Reduce invocations
+	Inline   uint64 // of those, run inline (below MinParallel or 1 worker)
+	Parallel uint64 // of those, fanned out to the worker pool
+	WidthSum uint64 // sum of observed widths (n), for the mean
+	MaxWidth uint64 // widest single call observed
+}
+
+// MeanWidth returns the average width of Range/Reduce calls, or 0.
+func (p ParSnapshot) MeanWidth() float64 {
+	if p.Calls == 0 {
+		return 0
+	}
+	return float64(p.WidthSum) / float64(p.Calls)
+}
+
+// Active reports whether the pool saw any calls.
+func (p ParSnapshot) Active() bool { return p.Calls > 0 }
 
 // ServeSnapshot is the serving-tier view, mirroring ps.ServeStats: reads
 // through ModelReader, snapshot pins/fences, and admission-control queueing
@@ -292,6 +351,16 @@ func (s Snapshot) String() string {
 		}
 		b.WriteByte('\n')
 	}
+	if s.Consistency.Active() {
+		fmt.Fprintf(&b, "consistency: %s policy, %d served / %d revalidated / %d hard-pulled (%.1f%% served)",
+			s.Consistency.Policy, s.Consistency.ServedCached, s.Consistency.Revalidated,
+			s.Consistency.HardPulled, 100*s.Consistency.ServeRate())
+		if s.Consistency.Tightenings+s.Consistency.Relaxations > 0 {
+			fmt.Fprintf(&b, "; bound %.4g after %d tightenings / %d relaxations",
+				s.Consistency.EffectiveBound, s.Consistency.Tightenings, s.Consistency.Relaxations)
+		}
+		b.WriteByte('\n')
+	}
 	if s.Load.Active() {
 		fmt.Fprintf(&b, "load: %d servers, imbalance %.2fx ops / %.2fx bytes (max/mean)\n",
 			len(s.Load.Ops), s.Load.OpsImbalance(), s.Load.BytesImbalance())
@@ -362,6 +431,22 @@ func (s Snapshot) Fill(r *Registry) {
 	r.Set("", "cache", "flushes", float64(s.Cache.Flushes))
 	r.Set("", "cache", "flushed.mb", s.Cache.FlushedMB)
 	r.Set("", "cache", "flush.baseline.mb", s.Cache.FlushBaseMB)
+
+	if s.Consistency.Active() {
+		r.Set("", "consistency", "served.cached", float64(s.Consistency.ServedCached))
+		r.Set("", "consistency", "revalidated", float64(s.Consistency.Revalidated))
+		r.Set("", "consistency", "hard.pulled", float64(s.Consistency.HardPulled))
+		r.Set("", "consistency", "tightenings", float64(s.Consistency.Tightenings))
+		r.Set("", "consistency", "relaxations", float64(s.Consistency.Relaxations))
+		r.Set("", "consistency", "effective.bound", s.Consistency.EffectiveBound)
+	}
+	if s.Par.Active() {
+		r.Set("", "par", "calls", float64(s.Par.Calls))
+		r.Set("", "par", "inline", float64(s.Par.Inline))
+		r.Set("", "par", "parallel", float64(s.Par.Parallel))
+		r.Set("", "par", "mean.width", s.Par.MeanWidth())
+		r.Set("", "par", "max.width", float64(s.Par.MaxWidth))
+	}
 
 	r.Set("", "load", "ops.imbalance", s.Load.OpsImbalance())
 	r.Set("", "load", "bytes.imbalance", s.Load.BytesImbalance())

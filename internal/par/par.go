@@ -26,6 +26,7 @@ package par
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // ChunkSize is the fixed reduction granularity in elements. It is part of
@@ -42,6 +43,56 @@ var MinParallel = 1 << 15
 // maxWorkers bounds the pool; wide-op parallelism saturates memory
 // bandwidth long before it saturates a big machine's cores.
 const maxWorkers = 8
+
+// Width observation counters (process-global, atomic): the evidence behind
+// the MinParallel threshold. Every Range/Reduce call records its width and
+// which path it took; Stats exposes them so Engine.Snapshot can report the
+// observed distribution. Pure counters — they never feed back into the
+// inline/parallel decision.
+var (
+	statCalls    atomic.Uint64
+	statInline   atomic.Uint64
+	statParallel atomic.Uint64
+	statWidthSum atomic.Uint64
+	statMaxWidth atomic.Uint64
+)
+
+// Stats is the pool's observation report.
+type Stats struct {
+	Calls    uint64 // Range/Reduce invocations
+	Inline   uint64 // of those, run on the calling goroutine
+	Parallel uint64 // of those, fanned out to the pool
+	WidthSum uint64 // sum of widths across calls
+	MaxWidth uint64 // widest call observed
+}
+
+// PoolStats returns the process-wide width observations.
+func PoolStats() Stats {
+	return Stats{
+		Calls:    statCalls.Load(),
+		Inline:   statInline.Load(),
+		Parallel: statParallel.Load(),
+		WidthSum: statWidthSum.Load(),
+		MaxWidth: statMaxWidth.Load(),
+	}
+}
+
+// observe records one call of width n taking the inline or parallel path.
+func observe(n int, parallel bool) {
+	statCalls.Add(1)
+	if parallel {
+		statParallel.Add(1)
+	} else {
+		statInline.Add(1)
+	}
+	statWidthSum.Add(uint64(n))
+	for {
+		cur := statMaxWidth.Load()
+		if uint64(n) <= cur || statMaxWidth.CompareAndSwap(cur, uint64(n)) {
+			return
+		}
+	}
+}
 
 func workers() int {
 	w := runtime.GOMAXPROCS(0)
@@ -108,11 +159,13 @@ func spanSize(n, w int) int {
 func Range(n int, fn func(lo, hi int)) {
 	w := workers()
 	if n < MinParallel || w < 2 {
+		observe(n, false)
 		if n > 0 {
 			fn(0, n)
 		}
 		return
 	}
+	observe(n, true)
 	poolOnce.Do(startPool)
 	per := spanSize(n, w)
 	var wg sync.WaitGroup
@@ -133,8 +186,10 @@ func Range(n int, fn func(lo, hi int)) {
 func Reduce(n int, fn func(lo, hi int) float64) float64 {
 	w := workers()
 	if n < MinParallel || w < 2 {
+		observe(n, false)
 		return reduceSerial(n, fn)
 	}
+	observe(n, true)
 	poolOnce.Do(startPool)
 	nchunks := (n + ChunkSize - 1) / ChunkSize
 	partials := make([]float64, nchunks)

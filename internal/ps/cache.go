@@ -5,15 +5,33 @@ package ps
 // matrix's pull operators.
 //
 // Validity rule. Every cached value carries the shard version stamp it was
-// read at and the worker clock at which it was last known current. A value
-// whose clock is within the configured staleness bound of the worker's
-// current clock is served locally with no RPC at all; staleness 0 means
+// read at and the worker clock at which it was last known current. Whether a
+// value may be served locally is decided by the client's consistency.Policy
+// (CacheConfig.Policy): the default ClockBounded policy serves values within
+// the configured staleness bound with no RPC at all; staleness 0 means
 // "synced this clock", which in a BSP loop (the model is frozen between
 // barriers, the driver ticks the clock once per iteration) is exact — the
 // run's arithmetic is bit-identical to the uncached client's. Staleness s>0
 // lets values ride for s more clocks, the same bounded-staleness contract as
 // the SSP clock (ssp.go): async workers tick their own machine's clock via
 // TickNode next to SSPClock.Tick.
+//
+// Value-bounded policies. A ValueBounded (or Adaptive) policy ignores age
+// and serves a value until the accumulated |delta| against it plausibly
+// exceeds a bound. The client tracks two delta signals per cached value:
+// pend, the exact magnitude of locally-flushed pushes since the last
+// validation (credited by PushBuffer flushes and trainer CreditPush calls),
+// and rate, an EWMA of remote change magnitude per clock learned from past
+// revalidations (seeded "unknown", which forces revalidation until the
+// first observation). When local pushes alone bust the bound the value is
+// hard-pulled — refetched like a missing entry, skipping the stamp bytes a
+// doomed validation would pay. On the dense row path the server goes one
+// step further: versions.go tracks the exact accumulated per-row drift, so
+// a validation in delta mode ships a changed row only when its true drift
+// since the client's watermark exceeds the bound, and merely certifies it
+// otherwise (value-bounded consistency enforced server-side). All delta
+// accounting is gated on Policy.UsesDeltas(), so clock-bounded runs do no
+// extra work and stay bit-identical to the pre-policy implementation.
 //
 // If-modified-since. Values outside the bound are not refetched: the client
 // sends their indices plus the version stamps they were read at, and the
@@ -40,9 +58,11 @@ package ps
 // the only virtual charges are the validation/fetch RPCs themselves.
 
 import (
+	"math"
 	"sort"
 
 	"repro/internal/arena"
+	"repro/internal/consistency"
 	"repro/internal/simnet"
 )
 
@@ -52,6 +72,13 @@ type CacheConfig struct {
 	// at clock c serves reads until clock c+Staleness without revalidation.
 	// 0 = validate anything not synced this clock (BSP-exact).
 	Staleness int
+	// Policy decides per cached value whether it is served locally,
+	// revalidated if-modified-since, or refetched outright. nil selects
+	// clock-bounded freshness at Staleness — the historic behavior,
+	// bit-identical. Delta-consuming policies (consistency.ValueBounded,
+	// consistency.Adaptive) ignore Staleness; pair them with CombinePushes
+	// or trainer CreditPush calls so local write magnitudes are credited.
+	Policy consistency.Policy
 	// CapacityBytes bounds the cached bytes per executor machine (LRU
 	// eviction); <= 0 means unbounded.
 	CapacityBytes float64
@@ -121,11 +148,16 @@ type cacheKey struct {
 }
 
 // cachedVal is one sparse cached value: the value, the shard version it was
-// read at, and the worker clock at which it was last known current.
+// read at, and the worker clock at which it was last known current. The two
+// delta fields stay zero (and cost nothing) under clock-bounded policies:
+// pend is the accumulated |delta| of locally-flushed pushes since the last
+// validation, rate the per-clock drift EWMA learned from revalidations.
 type cachedVal struct {
 	val   float64
 	ver   uint64
 	clock int64
+	pend  float64
+	rate  float64
 }
 
 // cacheEntry is one LRU-chained cache line.
@@ -143,6 +175,17 @@ type cacheEntry struct {
 	dense      []float64
 	denseVer   uint64
 	denseClock int64
+
+	// Dense-form delta accounting (delta-consuming policies only):
+	// densePend/denseRate mirror cachedVal.pend/rate at row granularity;
+	// denseDrift and denseDriftGen anchor the server's exact cumulative
+	// row-drift watermark (versions.go) at the point the cached copy was
+	// shipped, which lets the server certify a validation — "changed, but
+	// within your bound" — instead of shipping the row.
+	densePend     float64
+	denseRate     float64
+	denseDrift    float64
+	denseDriftGen uint64
 }
 
 // nodeCache is the per-executor-machine cache: entries keyed by (row, shard,
@@ -234,9 +277,11 @@ func (nc *nodeCache) evict(capacity float64, stats *CacheStats) {
 // cache bookkeeping happens in host-atomic sections between scheduler yield
 // points.
 type CachedClient struct {
-	mat   *Matrix
-	cfg   CacheConfig
-	nodes map[*simnet.Node]*nodeCache
+	mat    *Matrix
+	cfg    CacheConfig
+	pol    consistency.Policy
+	deltas bool // pol.UsesDeltas(): gate for all delta accounting
+	nodes  map[*simnet.Node]*nodeCache
 }
 
 // NewCachedClient attaches a cache to mat, enabling server-side version
@@ -246,9 +291,22 @@ func NewCachedClient(mat *Matrix, cfg CacheConfig) *CachedClient {
 	if cfg.Staleness < 0 {
 		cfg.Staleness = 0
 	}
+	if cfg.Policy == nil {
+		cfg.Policy = consistency.NewClockBounded(cfg.Staleness)
+	}
 	mat.EnableVersioning()
-	return &CachedClient{mat: mat, cfg: cfg, nodes: map[*simnet.Node]*nodeCache{}}
+	mat.master.registerPolicy(cfg.Policy)
+	return &CachedClient{
+		mat:    mat,
+		cfg:    cfg,
+		pol:    cfg.Policy,
+		deltas: cfg.Policy.UsesDeltas(),
+		nodes:  map[*simnet.Node]*nodeCache{},
+	}
 }
+
+// Policy returns the consistency policy governing this client's decisions.
+func (cc *CachedClient) Policy() consistency.Policy { return cc.pol }
 
 // Matrix returns the underlying matrix (for the operators the cache does not
 // intercept).
@@ -282,6 +340,42 @@ func (cc *CachedClient) Tick() {
 // SSPClock.Tick, so cache staleness rides the same clock as the SSP bound.
 func (cc *CachedClient) TickNode(n *simnet.Node) {
 	cc.node(n).clock++
+}
+
+// CreditPush records locally-issued write magnitudes against one row's
+// cached values on machine from, and feeds the policy's magnitude EWMA.
+// Trainers that push outside a PushBuffer call it next to their push (the
+// write-combining buffer credits automatically at flush). No-op unless the
+// attached policy consumes deltas, so clock-bounded runs pay nothing.
+// mags aligns with indices; magnitudes are taken absolute. Host-side only.
+func (cc *CachedClient) CreditPush(from *simnet.Node, row int, indices []int, mags []float64) {
+	if !cc.deltas || len(indices) == 0 {
+		return
+	}
+	nc := cc.node(from)
+	var sum, maxMag float64
+	for i, col := range indices {
+		mag := math.Abs(mags[i])
+		sum += mag
+		if mag > maxMag {
+			maxMag = mag
+		}
+		s := cc.mat.Part.ServerOf(col)
+		if e := nc.get(cacheKey{row: row, shard: s}); e != nil {
+			if cv, ok := e.vals[col]; ok {
+				cv.pend += mag
+				e.vals[col] = cv
+			}
+		}
+	}
+	// Dense entries track one pend per row stretch; the per-call max is a
+	// conservative stand-in for the per-shard max (errs toward revalidating).
+	for s := 0; s < cc.mat.Part.NumServers(); s++ {
+		if e := nc.get(cacheKey{row: row, shard: s, dense: true}); e != nil && e.dense != nil {
+			e.densePend += maxMag
+		}
+	}
+	cc.pol.ObserveDelta(sum / float64(len(indices)))
 }
 
 // PullRowIndices is the cached sparse pull: values within the staleness
@@ -353,15 +447,35 @@ func (cc *CachedClient) pullIndicesShard(cp *simnet.Proc, from *simnet.Node, nc 
 			e = nil
 		}
 		var stale, stalePos, missing, missPos []int
+		var hardOld map[int]cachedVal
 		for k, col := range idx {
 			if e != nil {
 				if cv, ok := e.vals[col]; ok {
-					if nc.clock-cv.clock <= int64(cc.cfg.Staleness) {
-						out[k] = cv.val
-						continue
+					meta := consistency.Meta{CachedClock: cv.clock, CurrentClock: nc.clock, Version: cv.ver}
+					if cc.deltas {
+						meta.Pushed = cv.pend
+						meta.Drift = consistency.DriftEstimate(cv.rate, nc.clock-cv.clock)
 					}
-					stale = append(stale, col)
-					stalePos = append(stalePos, k)
+					switch cc.pol.Admit(meta) {
+					case consistency.ServeCached:
+						m.Consistency.ServedCached++
+						out[k] = cv.val
+					case consistency.HardPull:
+						// Local pushes alone bust the bound: a validation stamp
+						// could never match, so refetch like a miss and skip the
+						// stamp bytes. Keep the old value for drift-rate learning.
+						m.Consistency.HardPulled++
+						if hardOld == nil {
+							hardOld = map[int]cachedVal{}
+						}
+						hardOld[col] = cv
+						missing = append(missing, col)
+						missPos = append(missPos, k)
+					default:
+						m.Consistency.Revalidated++
+						stale = append(stale, col)
+						stalePos = append(stalePos, k)
+					}
 					continue
 				}
 			}
@@ -439,11 +553,24 @@ func (cc *CachedClient) pullIndicesShard(cp *simnet.Proc, from *simnet.Node, nc 
 				v = e.vals[col].val // validated unchanged: still current as of stamp
 			}
 			out[stalePos[j]] = v
-			nc.put(cur, col, cachedVal{val: v, ver: stamp, clock: nc.clock})
+			nv := cachedVal{val: v, ver: stamp, clock: nc.clock}
+			if cc.deltas {
+				old := e.vals[col]
+				nv.rate = consistency.BlendRate(old.rate, v-old.val, nc.clock-old.clock)
+			}
+			nc.put(cur, col, nv)
 		}
 		for j, col := range missing {
 			out[missPos[j]] = missVal[j]
-			nc.put(cur, col, cachedVal{val: missVal[j], ver: stamp, clock: nc.clock})
+			nv := cachedVal{val: missVal[j], ver: stamp, clock: nc.clock}
+			if cc.deltas {
+				nv.rate = consistency.UnknownRate()
+				if old, ok := hardOld[col]; ok {
+					// Hard-pulled: the old value is known; observe the change.
+					nv.rate = consistency.BlendRate(old.rate, missVal[j]-old.val, nc.clock-old.clock)
+				}
+			}
+			nc.put(cur, col, nv)
 		}
 		nc.touch(cur)
 		nc.evict(cc.cfg.CapacityBytes, &m.Cache)
@@ -511,6 +638,12 @@ func (cc *CachedClient) pullRowsShard(cp *simnet.Proc, from *simnet.Node, nc *no
 		var stale, missing []int
 		staleVer := map[int]uint64{}
 		rowVals := map[int][]float64{}
+		var staleDrift map[int]float64
+		var staleGen map[int]uint64
+		if cc.deltas {
+			staleDrift = map[int]float64{}
+			staleGen = map[int]uint64{}
+		}
 		for _, r := range uniq {
 			e := nc.get(cacheKey{row: r, shard: s, dense: true})
 			if e != nil && e.epoch != epoch {
@@ -518,16 +651,35 @@ func (cc *CachedClient) pullRowsShard(cp *simnet.Proc, from *simnet.Node, nc *no
 				m.Cache.EpochFences++
 				e = nil
 			}
-			switch {
-			case e == nil || e.dense == nil:
+			if e == nil || e.dense == nil {
 				missing = append(missing, r)
-			case nc.clock-e.denseClock > int64(cc.cfg.Staleness):
-				stale = append(stale, r)
-				staleVer[r] = e.denseVer
-				rowVals[r] = e.dense // replaced wholesale on refresh, safe to hold
-			default:
+				continue
+			}
+			meta := consistency.Meta{CachedClock: e.denseClock, CurrentClock: nc.clock, Version: e.denseVer}
+			if cc.deltas {
+				meta.Pushed = e.densePend
+				meta.Drift = consistency.DriftEstimate(e.denseRate, nc.clock-e.denseClock)
+			}
+			switch cc.pol.Admit(meta) {
+			case consistency.ServeCached:
+				m.Consistency.ServedCached++
 				rowVals[r] = e.dense
 				nc.touch(e)
+			case consistency.HardPull:
+				// Local pushes alone bust the bound: skip the stamp and
+				// watermark bytes, refetch like a miss. The live entry stays
+				// put; merge observes the change against it after the call.
+				m.Consistency.HardPulled++
+				missing = append(missing, r)
+			default:
+				m.Consistency.Revalidated++
+				stale = append(stale, r)
+				staleVer[r] = e.denseVer
+				if cc.deltas {
+					staleDrift[r] = e.denseDrift
+					staleGen[r] = e.denseDriftGen
+				}
+				rowVals[r] = e.dense // replaced wholesale on refresh, safe to hold
 			}
 		}
 		if len(stale) == 0 && len(missing) == 0 {
@@ -539,14 +691,30 @@ func (cc *CachedClient) pullRowsShard(cp *simnet.Proc, from *simnet.Node, nc *no
 		}
 		// Request: 4 bytes per row id, plus an 8-byte stamp per validated row.
 		reqBytes := cost.RequestOverheadB + 4*float64(len(stale)+len(missing)) + 8*float64(len(stale))
+		if cc.deltas && len(stale) > 0 {
+			// Value-bounded validation also ships each stale row's drift
+			// watermark plus the bound, so the server can certify rows whose
+			// true drift stays within it instead of shipping them.
+			reqBytes += 8*float64(len(stale)) + 8
+		}
 		var stamp uint64
 		fetched := map[int][]float64{}
+		var valDrift map[int]float64
+		var valGen uint64
+		if cc.deltas {
+			valDrift = map[int]float64{}
+		}
 		err := cc.mat.CallShard(cp, from, CallSpec{
 			Name:     "cache-pull-rows",
 			Shard:    s,
 			ReqBytes: reqBytes,
 			RespBytesFn: func(*Shard) float64 {
-				return cost.RequestOverheadB + 8*float64(len(fetched)*width)
+				b := cost.RequestOverheadB + 8*float64(len(fetched)*width)
+				if cc.deltas {
+					// Fresh drift watermarks ride back for every requested row.
+					b += 8 * float64(len(stale)+len(missing))
+				}
+				return b
 			},
 			Fn: func(_ *simnet.Proc, sh *Shard) error {
 				stamp = sh.Ver()
@@ -554,12 +722,34 @@ func (cc *CachedClient) pullRowsShard(cp *simnet.Proc, from *simnet.Node, nc *no
 					delete(fetched, r)
 				}
 				for _, r := range stale {
-					if sh.RowVer(r) > staleVer[r] {
-						fetched[r] = append([]float64(nil), sh.Rows[r]...)
+					if sh.RowVer(r) <= staleVer[r] {
+						continue // unchanged since the client's stamp
 					}
+					if cc.deltas && sh.DriftGen() == staleGen[r] {
+						// The row changed, but versions.go knows its exact
+						// cumulative drift: certify instead of shipping when
+						// the change since the client's value-anchor watermark
+						// stays within the policy's bound.
+						if cc.pol.Admit(consistency.Meta{Drift: sh.RowDrift(r) - staleDrift[r]}) == consistency.ServeCached {
+							continue
+						}
+					}
+					fetched[r] = append([]float64(nil), sh.Rows[r]...)
 				}
 				for _, r := range missing {
 					fetched[r] = append([]float64(nil), sh.Rows[r]...)
+				}
+				if cc.deltas {
+					for r := range valDrift { // idempotent under retry
+						delete(valDrift, r)
+					}
+					for _, r := range stale {
+						valDrift[r] = sh.RowDrift(r)
+					}
+					for _, r := range missing {
+						valDrift[r] = sh.RowDrift(r)
+					}
+					valGen = sh.DriftGen()
 				}
 				return nil
 			},
@@ -580,7 +770,10 @@ func (cc *CachedClient) pullRowsShard(cp *simnet.Proc, from *simnet.Node, nc *no
 		m.Cache.Validations += uint64(len(stale))
 		m.Cache.ValidationHits += uint64(len(stale) - (len(fetched) - len(missing)))
 		m.Cache.PulledBytes += reqBytes + cost.RequestOverheadB + 8*float64(len(fetched)*width)
-		merge := func(r int, vals []float64) {
+		if cc.deltas {
+			m.Cache.PulledBytes += 8 * float64(len(stale)+len(missing))
+		}
+		merge := func(r int, vals []float64, shipped bool) {
 			key := cacheKey{row: r, shard: s, dense: true}
 			cur := nc.get(key)
 			if cur == nil {
@@ -594,6 +787,45 @@ func (cc *CachedClient) pullRowsShard(cp *simnet.Proc, from *simnet.Node, nc *no
 				cur.bytes += 8 * float64(width)
 				nc.bytes += 8 * float64(width)
 			}
+			if cc.deltas {
+				if shipped {
+					// Observe the change magnitude for the drift-rate EWMA,
+					// then re-anchor at the watermark the value was shipped at.
+					if cur.dense != nil {
+						var maxAbs float64
+						for i := range vals {
+							d := vals[i] - cur.dense[i]
+							if d < 0 {
+								d = -d
+							}
+							if d > maxAbs {
+								maxAbs = d
+							}
+						}
+						cur.denseRate = consistency.BlendRate(cur.denseRate, maxAbs, nc.clock-cur.denseClock)
+					} else {
+						cur.denseRate = consistency.UnknownRate()
+					}
+					cur.denseDrift = valDrift[r]
+					cur.denseDriftGen = valGen
+				} else {
+					// Unchanged or server-certified: the held value stands, so
+					// its drift anchor must stand too — re-anchoring at the
+					// current watermark would let certified chunks accumulate
+					// past the bound unseen. The exact drift-so-far is still
+					// an observation for the rate EWMA.
+					if valGen == staleGen[r] {
+						cur.denseRate = consistency.BlendRate(cur.denseRate, valDrift[r]-staleDrift[r], nc.clock-cur.denseClock)
+						cur.denseDrift = staleDrift[r]
+						cur.denseDriftGen = staleGen[r]
+					} else {
+						cur.denseDrift = valDrift[r]
+						cur.denseDriftGen = valGen
+					}
+				}
+				// Any owner contact resets the local-push tally.
+				cur.densePend = 0
+			}
 			cur.dense = vals
 			cur.denseVer = stamp
 			cur.denseClock = nc.clock
@@ -602,13 +834,13 @@ func (cc *CachedClient) pullRowsShard(cp *simnet.Proc, from *simnet.Node, nc *no
 		}
 		for _, r := range stale {
 			if vals, ok := fetched[r]; ok {
-				merge(r, vals)
+				merge(r, vals, true)
 			} else {
-				merge(r, rowVals[r]) // validated unchanged: restamp the cached copy
+				merge(r, rowVals[r], false) // validated unchanged: restamp the cached copy
 			}
 		}
 		for _, r := range missing {
-			merge(r, fetched[r])
+			merge(r, fetched[r], true)
 		}
 		nc.evict(cc.cfg.CapacityBytes, &m.Cache)
 		for i, r := range rows {

@@ -701,7 +701,12 @@ type InvokeOp struct {
 	// DirtyRows lists the rows a mutating op writes; the fused request
 	// declares their union as CallSpec.Touched. A mutating op that leaves it
 	// nil makes the whole batch fall back to conservative (every-row)
-	// marking.
+	// marking. Declarations also keep the consistency layer's drift
+	// accounting exact: commitMutate diffs exactly these rows into the
+	// shard's per-row |delta| watermarks (versions.go), which value-bounded
+	// policies use to certify dense cache entries without shipping them — an
+	// undeclared mutation instead rolls the shard to a new drift generation
+	// and every anchored entry revalidates in full.
 	DirtyRows []int
 }
 

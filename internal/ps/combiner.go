@@ -22,6 +22,7 @@ package ps
 // ApplyPending.
 
 import (
+	"math"
 	"sort"
 
 	"repro/internal/linalg"
@@ -33,6 +34,7 @@ import (
 // like the per-machine cache.
 type PushBuffer struct {
 	mat    *Matrix
+	cc     *CachedClient           // owning cached client, when made by one
 	sparse map[int]map[int]float64 // row → col → pending delta
 	dense  map[int][]float64       // row → pending full-dim delta
 
@@ -61,6 +63,7 @@ func NewPushBuffer(mat *Matrix) *PushBuffer {
 // client's AutoFlushTarget.
 func (cc *CachedClient) NewPushBuffer() *PushBuffer {
 	b := NewPushBuffer(cc.mat)
+	b.cc = cc
 	b.autoTarget = cc.cfg.AutoFlushTarget
 	return b
 }
@@ -216,6 +219,9 @@ func (b *PushBuffer) TryFlush(p *simnet.Proc, from *simnet.Node) error {
 		m.Cache.AutoFlushes++
 	}
 	b.adds, b.baseline, b.pendingBytes, b.autoTriggered = 0, 0, 0, false
+	if b.cc != nil && b.cc.deltas {
+		b.creditFlush(from, sparse, dense)
+	}
 
 	denseRows := sortedKeys(dense)
 	type sparsePart struct {
@@ -292,6 +298,80 @@ func (b *PushBuffer) TryFlush(p *simnet.Proc, from *simnet.Node) error {
 		b.framingEst = 0.75*b.framingEst + 0.25*framing
 	}
 	return firstError(errs)
+}
+
+// creditFlush records the magnitudes of a flush's deltas against the owning
+// client's cache entries on machine from (cachedVal.pend / densePend), so a
+// delta-consuming policy knows how far locally-pushed writes have moved the
+// values it is still serving. The mean magnitude also feeds the policy's
+// adaptive EWMA — but only when at least one live cache entry was credited:
+// a buffer flushing rows the cache never holds (LR's gradient accumulator
+// row) says nothing about the freshness of what IS cached, and its trainer
+// credits the real target row itself via CreditPush. Iteration is in sorted
+// row/column order so the float accumulation is deterministic. Host-side
+// only; no virtual cost.
+func (b *PushBuffer) creditFlush(from *simnet.Node, sparse map[int]map[int]float64, dense map[int][]float64) {
+	cc := b.cc
+	nc := cc.node(from)
+	var sum float64
+	var cnt int
+	credited := false
+	for _, row := range sortedKeys(sparse) {
+		cols := sparse[row]
+		var rowMax float64
+		for _, col := range sortedKeys(cols) {
+			mag := math.Abs(cols[col])
+			sum += mag
+			cnt++
+			if mag > rowMax {
+				rowMax = mag
+			}
+			s := cc.mat.Part.ServerOf(col)
+			if e := nc.get(cacheKey{row: row, shard: s}); e != nil {
+				if cv, ok := e.vals[col]; ok {
+					cv.pend += mag
+					e.vals[col] = cv
+					credited = true
+				}
+			}
+		}
+		for s := 0; s < cc.mat.Part.NumServers(); s++ {
+			if e := nc.get(cacheKey{row: row, shard: s, dense: true}); e != nil && e.dense != nil {
+				e.densePend += rowMax
+				credited = true
+			}
+		}
+	}
+	for _, row := range sortedKeys(dense) {
+		d := dense[row]
+		var rowMax float64
+		for _, v := range d {
+			mag := math.Abs(v)
+			if mag > rowMax {
+				rowMax = mag
+			}
+		}
+		sum += rowMax
+		cnt++
+		for s := 0; s < cc.mat.Part.NumServers(); s++ {
+			if e := nc.get(cacheKey{row: row, shard: s, dense: true}); e != nil && e.dense != nil {
+				e.densePend += rowMax
+				credited = true
+			}
+			if e := nc.get(cacheKey{row: row, shard: s}); e != nil {
+				// Per-column credit against sparse entries of the same row;
+				// each column's increment is independent, so map order is fine.
+				for col, cv := range e.vals {
+					cv.pend += math.Abs(d[col])
+					e.vals[col] = cv
+					credited = true
+				}
+			}
+		}
+	}
+	if credited && cnt > 0 {
+		cc.pol.ObserveDelta(sum / float64(cnt))
+	}
 }
 
 // sortedKeys returns the map's keys in ascending order.

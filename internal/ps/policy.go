@@ -1,0 +1,85 @@
+package ps
+
+// Consistency-policy plumbing for the master: one decision-counter surface
+// shared by every layer that consults a consistency.Policy (worker cache,
+// hot-replica revalidation, serving reads), and a registry of the live
+// policy objects so adaptive bound movements can be folded into the
+// end-of-run report. All host-side; no virtual cost.
+
+import "repro/internal/consistency"
+
+// ConsistencyStats accumulates freshness-decision counters on the Master.
+// The decision counters are incremented by the layers at each Admit call;
+// the adaptive counters are folded in from registered policies by
+// ConsistencyReport.
+type ConsistencyStats struct {
+	// Policy names the governing policy: the first non-clock policy
+	// registered, or "clock" when only clock-bounded freshness ran.
+	Policy string
+
+	ServedCached uint64 // cached values served with no RPC on a policy verdict
+	Revalidated  uint64 // values sent for if-modified-since validation
+	HardPulled   uint64 // values refetched outright (stamp could not match)
+
+	Tightenings    uint64  // adaptive effective-bound shrinks
+	Relaxations    uint64  // adaptive effective-bound growths
+	EffectiveBound float64 // the adaptive bound at snapshot time (0 when none)
+}
+
+// Decisions returns the total policy verdicts issued.
+func (cs ConsistencyStats) Decisions() uint64 {
+	return cs.ServedCached + cs.Revalidated + cs.HardPulled
+}
+
+// registerPolicy remembers a policy attached to this master so its adaptive
+// counters can be reported. Pure clock-bounded policies carry no state worth
+// folding (their decisions land in the shared counters directly) and are
+// often constructed per call, so they are not retained.
+func (m *Master) registerPolicy(pol consistency.Policy) {
+	if pol == nil {
+		return
+	}
+	if _, clock := pol.(*consistency.ClockBounded); clock {
+		return
+	}
+	for _, p := range m.policies {
+		if p == pol {
+			return
+		}
+	}
+	m.policies = append(m.policies, pol)
+	if m.Consistency.Policy == "" || m.Consistency.Policy == "clock" {
+		m.Consistency.Policy = pol.Name()
+	}
+}
+
+// deltasWanted reports whether any registered policy consumes push-delta
+// magnitudes — the gate for the write paths' delta accounting, kept false
+// on pure clock-bounded runs so their host work and counters are unchanged.
+func (m *Master) deltasWanted() bool {
+	for _, p := range m.policies {
+		if p.UsesDeltas() {
+			return true
+		}
+	}
+	return false
+}
+
+// ConsistencyReport returns the decision counters with the adaptive
+// policies' bound movements folded in — the view Engine.Snapshot surfaces
+// as obs.ConsistencySnapshot.
+func (m *Master) ConsistencyReport() ConsistencyStats {
+	cs := m.Consistency
+	if cs.Policy == "" && cs.Decisions() > 0 {
+		cs.Policy = "clock"
+	}
+	for _, pol := range m.policies {
+		if a, ok := pol.(*consistency.Adaptive); ok {
+			st := a.Stats()
+			cs.Tightenings += st.Tightenings
+			cs.Relaxations += st.Relaxations
+			cs.EffectiveBound = a.EffectiveBound()
+		}
+	}
+	return cs
+}

@@ -39,6 +39,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/consistency"
 	"repro/internal/simnet"
 )
 
@@ -51,6 +52,12 @@ type ReplicaConfig struct {
 	// as CacheConfig.Staleness: 0 = revalidate anything not validated this
 	// clock (BSP-exact), s>0 = serve for s more ticks.
 	Staleness int
+	// Policy decides replica-copy freshness, like CacheConfig.Policy: nil
+	// selects clock-bounded freshness at Staleness (the historic behavior,
+	// bit-identical); delta-consuming policies serve copies on a learned
+	// drift-rate estimate instead of age. A per-read ReadOptions.Policy
+	// (serve.go) overrides it for that read.
+	Policy consistency.Policy
 }
 
 // ReplicaStats accumulates hot-replication counters on the Master.
@@ -67,11 +74,14 @@ type repKey struct{ row, col int }
 
 // repVal is one replica copy: the value, the owner element version and owner
 // recovery epoch it was fetched under, and the clock it was last validated.
+// rate is the per-clock drift EWMA learned from owner revalidations, used
+// (and maintained) only under delta-consuming policies.
 type repVal struct {
 	val        float64
 	ver        uint64
 	ownerEpoch uint64
 	clock      int64
+	rate       float64
 }
 
 // replicaStore is one serving server's replica memory. epoch is the serving
@@ -93,6 +103,7 @@ type replicaStore struct {
 type HotReplicaSet struct {
 	mat    *Matrix
 	cfg    ReplicaConfig
+	pol    consistency.Policy
 	hot    map[int]bool
 	rr     int
 	stores []*replicaStore
@@ -108,8 +119,12 @@ func NewHotReplicaSet(mat *Matrix, cfg ReplicaConfig) (*HotReplicaSet, error) {
 	if cfg.Staleness < 0 {
 		cfg.Staleness = 0
 	}
+	if cfg.Policy == nil {
+		cfg.Policy = consistency.NewClockBounded(cfg.Staleness)
+	}
 	mat.EnableVersioning()
-	rs := &HotReplicaSet{mat: mat, cfg: cfg, hot: make(map[int]bool, len(cfg.HotCols))}
+	mat.master.registerPolicy(cfg.Policy)
+	rs := &HotReplicaSet{mat: mat, cfg: cfg, pol: cfg.Policy, hot: make(map[int]bool, len(cfg.HotCols))}
 	for _, c := range cfg.HotCols {
 		rs.hot[c] = true
 	}
@@ -166,21 +181,21 @@ func (rs *HotReplicaSet) PullRowIndices(p *simnet.Proc, from *simnet.Node, row i
 // owners as the staleness bound requires) and the rest take the ordinary
 // owner-routed path. Output is aligned with indices, like the raw operator.
 func (rs *HotReplicaSet) TryPullRowIndices(p *simnet.Proc, from *simnet.Node, row int, indices []int) ([]float64, error) {
-	return rs.tryPull(p, from, row, indices, rs.cfg.Staleness, ClassTrain)
+	return rs.tryPull(p, from, row, indices, rs.pol, ClassTrain)
 }
 
-// tryPull is TryPullRowIndices with an explicit staleness bound and
+// tryPull is TryPullRowIndices with an explicit consistency policy and
 // admission class — the serving tier (ModelReader) reads through it so a
-// per-request ReadOptions can tighten or relax the configured bound and tag
-// the traffic ClassServe.
-func (rs *HotReplicaSet) tryPull(p *simnet.Proc, from *simnet.Node, row int, indices []int, bound int, class Class) ([]float64, error) {
+// per-request ReadOptions can tighten or relax the configured freshness and
+// tag the traffic ClassServe.
+func (rs *HotReplicaSet) tryPull(p *simnet.Proc, from *simnet.Node, row int, indices []int, pol consistency.Policy, class Class) ([]float64, error) {
 	mat := rs.mat
 	mat.checkRow(row)
 	if err := validateIndices(indices, mat.Dim); err != nil {
 		return nil, err
 	}
-	if bound < 0 {
-		bound = 0
+	if pol == nil {
+		pol = rs.pol
 	}
 	mat.enterOp(p)
 	defer mat.exitOp()
@@ -218,7 +233,7 @@ func (rs *HotReplicaSet) tryPull(p *simnet.Proc, from *simnet.Node, row int, ind
 		t := rs.rr
 		rs.rr = (rs.rr + 1) % mat.Part.NumServers()
 		g.Go("replica-hot", func(cp *simnet.Proc) {
-			vals, err := rs.pullHot(cp, from, t, row, hotCols, bound, class)
+			vals, err := rs.pullHot(cp, from, t, row, hotCols, pol, class)
 			if err != nil {
 				errHot = err
 				return
@@ -256,7 +271,7 @@ func (rs *HotReplicaSet) resync() {
 
 // pullHot serves one row's hot columns from serving shard t's replica store,
 // fetching stale or missing copies from the owning shards.
-func (rs *HotReplicaSet) pullHot(cp *simnet.Proc, from *simnet.Node, t, row int, cols []int, bound int, class Class) ([]float64, error) {
+func (rs *HotReplicaSet) pullHot(cp *simnet.Proc, from *simnet.Node, t, row int, cols []int, pol consistency.Policy, class Class) ([]float64, error) {
 	mat := rs.mat
 	m := mat.master
 	cost := m.Cl.Cost
@@ -268,7 +283,7 @@ func (rs *HotReplicaSet) pullHot(cp *simnet.Proc, from *simnet.Node, t, row int,
 		ReqBytes:  cost.RequestOverheadB + 4*float64(len(cols)),
 		RespBytes: cost.RequestOverheadB + 8*float64(len(cols)),
 		Fn: func(fp *simnet.Proc, sh *Shard) error {
-			return rs.serveHot(fp, t, row, cols, vals, bound)
+			return rs.serveHot(fp, t, row, cols, vals, pol)
 		},
 	})
 	if err != nil {
@@ -282,10 +297,11 @@ func (rs *HotReplicaSet) pullHot(cp *simnet.Proc, from *simnet.Node, t, row int,
 // are revalidated if-modified-since against their owners (one round-trip per
 // owner shard that has stale columns). Retryable errors propagate to the
 // enclosing CallShard loop.
-func (rs *HotReplicaSet) serveHot(fp *simnet.Proc, t, row int, cols []int, vals []float64, bound int) error {
+func (rs *HotReplicaSet) serveHot(fp *simnet.Proc, t, row int, cols []int, vals []float64, pol consistency.Policy) error {
 	mat := rs.mat
 	m := mat.master
 	cost := m.Cl.Cost
+	deltas := pol.UsesDeltas()
 	store := rs.stores[t]
 	if e := mat.ShardEpoch(t); e != store.epoch {
 		// The serving machine was replaced; its replica memory died with it.
@@ -304,16 +320,31 @@ func (rs *HotReplicaSet) serveHot(fp *simnet.Proc, t, row int, cols []int, vals 
 	needIdx := make(map[int][]int) // owner shard → positions into cols
 	var owners []int
 	for j, col := range cols {
-		rv := store.vals[repKey{row: row, col: col}]
+		key := repKey{row: row, col: col}
+		rv := store.vals[key]
 		o := mat.Part.ServerOf(col)
-		if rv != nil && rv.ownerEpoch == mat.ShardEpoch(o) &&
-			mat.clock-rv.clock <= int64(bound) {
-			vals[j] = rv.val
-			m.Replica.LocalHits++
-			continue
-		}
-		if rv != nil && rv.ownerEpoch != mat.ShardEpoch(o) {
-			delete(store.vals, repKey{row: row, col: col})
+		if rv != nil && rv.ownerEpoch == mat.ShardEpoch(o) {
+			meta := consistency.Meta{CachedClock: rv.clock, CurrentClock: mat.clock, Version: rv.ver}
+			if deltas {
+				meta.Drift = consistency.DriftEstimate(rv.rate, mat.clock-rv.clock)
+			}
+			switch pol.Admit(meta) {
+			case consistency.ServeCached:
+				m.Consistency.ServedCached++
+				vals[j] = rv.val
+				m.Replica.LocalHits++
+				continue
+			case consistency.HardPull:
+				// Can only fire when the policy weighs pushed deltas it thinks
+				// doom a validation; drop the copy so the owner fetch below
+				// ships the value outright.
+				m.Consistency.HardPulled++
+				delete(store.vals, key)
+			default:
+				m.Consistency.Revalidated++
+			}
+		} else if rv != nil {
+			delete(store.vals, key)
 			m.Replica.EpochFences++
 		}
 		if needIdx[o] == nil {
@@ -358,10 +389,21 @@ func (rs *HotReplicaSet) serveHot(fp *simnet.Proc, t, row int, cols []int, vals 
 			ver := osh.ElemVer(row, col)
 			if rv == nil || rv.ver != ver {
 				changed++
-				rv = &repVal{}
-				store.vals[key] = rv
-				rv.val = osh.Rows[row][osh.Local(col)]
-				rv.ver = ver
+				nv := &repVal{}
+				nv.val = osh.Rows[row][osh.Local(col)]
+				nv.ver = ver
+				if deltas {
+					nv.rate = consistency.UnknownRate()
+					if rv != nil {
+						nv.rate = consistency.BlendRate(rv.rate, nv.val-rv.val, mat.clock-rv.clock)
+					}
+				}
+				store.vals[key] = nv
+				rv = nv
+			} else if deltas {
+				// Validated unchanged: a zero-magnitude observation decays the
+				// learned drift rate.
+				rv.rate = consistency.BlendRate(rv.rate, 0, mat.clock-rv.clock)
 			}
 			rv.ownerEpoch = ownerEpoch
 			rv.clock = mat.clock

@@ -48,6 +48,7 @@ import (
 	"math"
 	"sort"
 
+	"repro/internal/consistency"
 	"repro/internal/obs"
 	"repro/internal/simnet"
 )
@@ -299,9 +300,9 @@ func (sh *Shard) invalidateSnaps() {
 // wire cost as a plain sparse pull. See the file comment for the
 // copy-on-write mechanism and the fencing guarantees.
 type ModelSnapshot struct {
-	mat   *Matrix
-	clock int64
-	pins  []*shardSnap
+	mat    *Matrix
+	clock  int64
+	pins   []*shardSnap
 	closed bool
 }
 
@@ -491,7 +492,15 @@ type ReadOptions struct {
 	// owner this clock — bit-identical to an owner read in a BSP loop — and
 	// s > 0 trades staleness for fewer owner round-trips. Ignored for
 	// owner-routed (cold or replica-less) reads, which are always current.
+	// Staleness is clock-bounded shorthand: it is consulted only when Policy
+	// is nil.
 	Staleness int
+
+	// Policy overrides the replica set's consistency policy for this read.
+	// nil derives clock-bounded freshness from Staleness. Like Staleness it
+	// only affects replica-served values; owner-routed reads are always
+	// current.
+	Policy consistency.Policy
 
 	// Priority is the admission class the read is charged under when the
 	// master has admission control installed. Default PriorityServe.
@@ -574,7 +583,13 @@ func (mr *ModelReader) Read(p *simnet.Proc, from *simnet.Node, row int, indices 
 		}
 		out, err = opts.At.TryReadRowIndices(p, from, row, indices)
 	case mr.rs != nil:
-		out, err = mr.rs.tryPull(p, from, row, indices, opts.Staleness, opts.Priority.class())
+		pol := opts.Policy
+		if pol == nil {
+			pol = consistency.NewClockBounded(opts.Staleness)
+		} else {
+			m.registerPolicy(pol)
+		}
+		out, err = mr.rs.tryPull(p, from, row, indices, pol, opts.Priority.class())
 	default:
 		mr.mat.checkRow(row)
 		if err = validateIndices(indices, mr.mat.Dim); err != nil {

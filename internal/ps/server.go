@@ -6,6 +6,7 @@ import (
 	"strconv"
 
 	"repro/internal/cluster"
+	"repro/internal/consistency"
 	"repro/internal/obs"
 	"repro/internal/simnet"
 )
@@ -34,6 +35,13 @@ type Shard struct {
 	ver     uint64
 	rowVer  []uint64
 	elemVer [][]uint64
+
+	// Cumulative per-row drift watermarks for value-bounded cache
+	// validation (versions.go): rowDrift[r] sums each declared mutation's
+	// max-|delta| on row r; driftGen is bumped (and the watermarks reset)
+	// by touchAll, whose magnitude is unknowable.
+	rowDrift []float64
+	driftGen uint64
 
 	// snaps lists the ModelSnapshot pins active on this shard incarnation
 	// (serve.go): commitMutate preserves pre-images into them just before it
@@ -213,6 +221,15 @@ type Master struct {
 	// Serve accumulates the serving tier's counters (see serve.go) — reads,
 	// snapshot pins/fences, admission queueing and shed rates.
 	Serve ServeStats
+
+	// Consistency accumulates freshness-decision counters from every layer
+	// that consults a consistency.Policy (see policy.go); read it through
+	// ConsistencyReport, which folds in adaptive bound movements.
+	Consistency ConsistencyStats
+
+	// policies lists the non-clock consistency policies attached to this
+	// master's matrices (registerPolicy), for the report fold.
+	policies []consistency.Policy
 
 	// Admission, when installed (SetAdmission), gates every data-plane
 	// CallShard through a per-server token bucket with a bounded, class-aware

@@ -3,6 +3,7 @@ package ps
 import (
 	"fmt"
 
+	"repro/internal/consistency"
 	"repro/internal/simnet"
 )
 
@@ -14,6 +15,15 @@ import (
 // asynchronous execution. PS2's paper runs BSP (Spark stages are barriers);
 // the SSP extension quantifies what bounded staleness buys under stragglers
 // (experiment ext-ssp).
+//
+// The admission question SSP asks — "is the slowest clock close enough to
+// mine?" — is the same question the worker cache and replica layers ask of a
+// cached value, so since the consistency refactor the wait gate delegates to
+// a consistency.Policy: a waiter is admitted once
+// Admit({CachedClock: MinClock, CurrentClock: target}) says ServeCached.
+// WaitTurn/WaitUntilMin are thin clock-bounded shims over WaitPolicy and
+// reproduce the historic wait/release sequences exactly (the waiter queue is
+// still fired in insertion order).
 type SSPClock struct {
 	sim     *simnet.Sim
 	clocks  []int
@@ -21,8 +31,17 @@ type SSPClock struct {
 }
 
 type sspWaiter struct {
+	pol    consistency.Policy
 	target int
 	sig    *simnet.Signal
+}
+
+// admitted reports whether the policy clears a waiter for target given the
+// current minimum clock. Decision counters are deliberately not bumped here:
+// SSP admission is a scheduling gate, not a cached-value read.
+func (c *SSPClock) admitted(pol consistency.Policy, target int) bool {
+	m := consistency.Meta{CachedClock: int64(c.MinClock()), CurrentClock: int64(target)}
+	return pol.Admit(m) == consistency.ServeCached
 }
 
 // NewSSPClock creates a clock table for n workers, all at clock 0.
@@ -50,14 +69,13 @@ func (c *SSPClock) MinClock() int {
 	return min
 }
 
-// Tick advances worker w's clock by one and wakes any waiter whose bound is
-// now satisfied.
+// Tick advances worker w's clock by one and wakes any waiter whose policy now
+// admits it, in insertion order.
 func (c *SSPClock) Tick(w int) {
 	c.clocks[w]++
-	min := c.MinClock()
 	kept := c.waiters[:0]
 	for _, wt := range c.waiters {
-		if wt.target <= min {
+		if c.admitted(wt.pol, wt.target) {
 			wt.sig.Fire()
 			continue
 		}
@@ -66,22 +84,36 @@ func (c *SSPClock) Tick(w int) {
 	c.waiters = kept
 }
 
-// WaitUntilMin blocks the calling process until MinClock() >= target.
-func (c *SSPClock) WaitUntilMin(p *simnet.Proc, target int) {
-	if c.MinClock() >= target {
+// WaitPolicy blocks the calling process until pol admits target against the
+// minimum clock — the policy-generalized SSP gate. A clock-bounded policy
+// reproduces classic SSP; note that value-bounded policies make the gate's
+// admission depend only on what they can see here (clocks), so Meta's delta
+// fields stay zero and a pure ValueBounded policy never blocks.
+func (c *SSPClock) WaitPolicy(p *simnet.Proc, pol consistency.Policy, target int) {
+	if c.admitted(pol, target) {
 		return
 	}
-	wt := &sspWaiter{target: target, sig: c.sim.NewSignal()}
+	wt := &sspWaiter{pol: pol, target: target, sig: c.sim.NewSignal()}
 	c.waiters = append(c.waiters, wt)
 	wt.sig.Wait(p)
 }
 
+// WaitUntilMin blocks the calling process until MinClock() >= target.
+//
+// Deprecated shim: it is WaitPolicy with a zero-slack clock-bounded policy
+// (MinClock >= target ⟺ target - MinClock <= 0). Kept for existing drivers.
+func (c *SSPClock) WaitUntilMin(p *simnet.Proc, target int) {
+	c.WaitPolicy(p, consistency.NewClockBounded(0), target)
+}
+
 // WaitTurn is the SSP admission check for worker w about to run iteration
 // iter (0-based): it blocks until no worker is more than staleness clocks
-// behind. Negative staleness panics; staleness 0 is BSP.
+// behind — WaitPolicy with a clock-bounded policy at that slack
+// (iter - MinClock <= staleness ⟺ MinClock >= iter - staleness). Negative
+// staleness panics; staleness 0 is BSP.
 func (c *SSPClock) WaitTurn(p *simnet.Proc, w, iter, staleness int) {
 	if staleness < 0 {
 		panic(fmt.Sprintf("ps: negative staleness %d", staleness))
 	}
-	c.WaitUntilMin(p, iter-staleness)
+	c.WaitPolicy(p, consistency.NewClockBounded(staleness), iter)
 }

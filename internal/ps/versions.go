@@ -32,6 +32,7 @@ func (sh *Shard) enableVersions() {
 	for r := range sh.elemVer {
 		sh.elemVer[r] = make([]uint64, sh.Width())
 	}
+	sh.rowDrift = make([]float64, len(sh.Rows))
 }
 
 // Ver returns the shard's current version stamp: the version of the most
@@ -56,6 +57,27 @@ func (sh *Shard) ElemVer(r, col int) uint64 {
 	}
 	return sh.elemVer[r][sh.Local(col)]
 }
+
+// RowDrift returns row r's cumulative drift watermark: the running sum of
+// each declared mutation's max-|delta| on the row since versioning was
+// enabled. Monotone non-decreasing within one DriftGen, so the drift a row
+// accumulated between two points in time is the difference of the watermarks
+// — the exact quantity value-bounded cache validation certifies against.
+// Exact because mutating RPCs declare their rows (dcv DirtyRows) and
+// commitMutate diffs pre-images; undeclared mutations fall to touchAll,
+// which bumps DriftGen instead of faking a magnitude.
+func (sh *Shard) RowDrift(r int) float64 {
+	if sh.rowDrift == nil {
+		return 0
+	}
+	return sh.rowDrift[r]
+}
+
+// DriftGen returns the shard's drift generation. touchAll (an undeclared
+// mutation — unknown magnitude) bumps it and resets the watermarks; a client
+// holding an anchor from an older generation cannot difference watermarks
+// and must treat the row as changed.
+func (sh *Shard) DriftGen() uint64 { return sh.driftGen }
 
 // preMutate snapshots the declared rows' values so commitMutate can stamp
 // exactly the elements the handler changed. Returns nil (snapshot-free) when
@@ -92,6 +114,7 @@ func (sh *Shard) commitMutate(rows []int, snap [][]float64) {
 	for i, r := range rows {
 		old, cur := snap[i], sh.Rows[r]
 		rowChanged := false
+		var maxAbs float64
 		for c := range cur {
 			if cur[c] != old[c] {
 				if v == 0 {
@@ -103,6 +126,11 @@ func (sh *Shard) commitMutate(rows []int, snap [][]float64) {
 					// pre-image before the stamp moves past the pin's version.
 					sh.preserve(r, c, old[c])
 				}
+				if d := cur[c] - old[c]; d > maxAbs {
+					maxAbs = d
+				} else if -d > maxAbs {
+					maxAbs = -d
+				}
 				sh.elemVer[r][c] = v
 				rowChanged = true
 			}
@@ -110,6 +138,7 @@ func (sh *Shard) commitMutate(rows []int, snap [][]float64) {
 		if rowChanged {
 			sh.rowVer[r] = v
 			sh.dirty[r] = true
+			sh.rowDrift[r] += maxAbs
 		}
 	}
 }
@@ -136,6 +165,12 @@ func (sh *Shard) touchAll() {
 		for c := range ev {
 			ev[c] = v
 		}
+	}
+	// The mutation's magnitude is unknown: a new drift generation (rather
+	// than an invented watermark bump) tells clients their anchors are void.
+	sh.driftGen++
+	for r := range sh.rowDrift {
+		sh.rowDrift[r] = 0
 	}
 }
 

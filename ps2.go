@@ -54,6 +54,7 @@ package ps2
 import (
 	"fmt"
 
+	"repro/internal/consistency"
 	"repro/internal/core"
 	"repro/internal/data"
 	"repro/internal/dcv"
@@ -134,6 +135,39 @@ type CacheConfig = ps.CacheConfig
 // operators; trainers construct one internally when their Cache config is
 // set, and ps.NewCachedClient builds one for custom jobs.
 type CachedClient = ps.CachedClient
+
+// ConsistencyPolicy decides, per cached read, whether a cached value may be
+// served as-is, must be revalidated against its version stamp, or must be
+// hard-pulled from the owner. It is the one pluggable seam behind every
+// staleness decision in the system: CacheConfig.Policy (worker cache),
+// ReplicaConfig.Policy (hot-replica rotation) and ReadOptions.Policy
+// (serving-tier reads) all accept one. Nil always means clock-bounded at
+// the seam's Staleness field — the historic behavior, bit-identical.
+type ConsistencyPolicy = consistency.Policy
+
+// ClockBoundedPolicy returns the classic bounded-staleness policy: a cached
+// value serves while it is at most staleness clock ticks old, revalidates
+// otherwise. Staleness 0 is the strictest (validate every read once the
+// clock moves); negative values clamp to 0.
+func ClockBoundedPolicy(staleness int) ConsistencyPolicy {
+	return consistency.NewClockBounded(staleness)
+}
+
+// ValueBoundedPolicy returns the value-bounded policy: a cached value serves
+// — regardless of clock age — until the accumulated |delta| against it may
+// exceed bound, then revalidates (or hard-pulls when the locally pushed
+// magnitude alone breaches the bound). Share ONE policy value per client.
+func ValueBoundedPolicy(bound float64) ConsistencyPolicy {
+	return consistency.NewValueBounded(bound)
+}
+
+// AdaptivePolicy returns the adaptive value-bounded policy: the effective
+// bound starts at base, tightens while observed push magnitudes are large
+// (early training) and relaxes back toward base as updates shrink
+// (convergence). Share ONE policy value per client.
+func AdaptivePolicy(base float64) ConsistencyPolicy {
+	return consistency.NewAdaptive(base)
+}
 
 // Matrix is the raw column-partitioned parameter storage behind DCVs;
 // Vector.Matrix exposes a vector's matrix for serving and low-level use.

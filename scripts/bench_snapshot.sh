@@ -7,10 +7,11 @@
 # (volatile host-clock experiments such as ext-wire render to stdout but are
 # excluded from the JSON — see Result.Volatile):
 #
-#   BENCH_ELASTIC.json   the ext-elastic elastic-membership experiment
-#   BENCH_SERVE.json     the ext-serve online-serving-tier experiment
-#   BENCH_HOTPATH.json   the ext-hotpath allocation-trajectory experiment
-#   BENCH_BASELINE.json  every registered experiment (the baseline suite)
+#   BENCH_ELASTIC.json      the ext-elastic elastic-membership experiment
+#   BENCH_SERVE.json        the ext-serve online-serving-tier experiment
+#   BENCH_HOTPATH.json      the ext-hotpath allocation-trajectory experiment
+#   BENCH_CONSISTENCY.json  the ext-consistency policy ablation
+#   BENCH_BASELINE.json     every registered experiment (the baseline suite)
 #
 # Usage: scripts/bench_snapshot.sh [output-dir]   (default: repo root)
 set -eu
@@ -21,6 +22,7 @@ out="${1:-.}"
 go run ./cmd/ps2bench -exp ext-elastic -quick -json "$out/BENCH_ELASTIC.json" >/dev/null
 go run ./cmd/ps2bench -exp ext-serve -quick -json "$out/BENCH_SERVE.json" >/dev/null
 go run ./cmd/ps2bench -exp ext-hotpath -quick -json "$out/BENCH_HOTPATH.json" >/dev/null
+go run ./cmd/ps2bench -exp ext-consistency -quick -json "$out/BENCH_CONSISTENCY.json" >/dev/null
 go run ./cmd/ps2bench -all -quick -json "$out/BENCH_BASELINE.json" >/dev/null
 
-echo "snapshots written to $out/BENCH_ELASTIC.json, $out/BENCH_SERVE.json, $out/BENCH_HOTPATH.json and $out/BENCH_BASELINE.json"
+echo "snapshots written to $out/BENCH_ELASTIC.json, $out/BENCH_SERVE.json, $out/BENCH_HOTPATH.json, $out/BENCH_CONSISTENCY.json and $out/BENCH_BASELINE.json"

@@ -41,6 +41,13 @@ go test -race -timeout 20m ./...
 # in the suite above; this line keeps the CLI path itself from rotting.
 go run ./cmd/ps2bench -exp ext-serve -quick >/dev/null
 
+# Consistency-policy ablation smoke gate: ext-consistency end to end at
+# quick scale. Its bit-identity gate — the explicit clock-bounded policy
+# reproducing the legacy Staleness arm exactly — is pinned by
+# TestExtConsistencyShape in the suite above; this line keeps the CLI path
+# from rotting and fails loudly if the refactor-exactness note ever flips.
+go run ./cmd/ps2bench -exp ext-consistency -quick | grep -q "legacy Staleness field (loss, time, every cache counter) = true"
+
 # Hot-path allocation contract, re-run WITHOUT the race detector: the
 # zero-alloc guards promise exact counts in the instrumentation-free build
 # that production runs, and -race (above) measures the instrumented build.
